@@ -1,0 +1,72 @@
+// Command linprobe evaluates a pretrained checkpoint by linear probing
+// on one of the Table II analog datasets, reporting top-1/top-5
+// accuracy per epoch.
+//
+// Usage:
+//
+//	linprobe -model ViT-1B -checkpoint vit1b.ckpt -dataset UCM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/geofm"
+)
+
+func main() {
+	model := flag.String("model", "ViT-Base", "Table I model whose analog the checkpoint holds")
+	imageSize := flag.Int("image", 32, "image size (must match pretraining)")
+	patchSize := flag.Int("patch", 8, "patch size (must match pretraining)")
+	channels := flag.Int("channels", 3, "image channels (must match pretraining)")
+	scale := flag.Int("scale", 10, "Table II sample-count divisor")
+	checkpoint := flag.String("checkpoint", "", "checkpoint path (empty = random weights baseline)")
+	dataset := flag.String("dataset", "UCM", "dataset: MillionAID, UCM, AID, NWPU")
+	epochs := flag.Int("epochs", 60, "probe epochs")
+	batch := flag.Int("batch", 32, "probe batch size")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	enc, err := geofm.Analog(*model, *imageSize, *patchSize, *channels)
+	if err != nil {
+		fatal(err)
+	}
+	m := geofm.NewMAE(geofm.DefaultMAE(enc), *seed)
+	if *checkpoint != "" {
+		step, err := geofm.LoadCheckpoint(*checkpoint, m.Params())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored %s at step %d\n", *checkpoint, step)
+	} else {
+		fmt.Println("no checkpoint: probing random-weight features (baseline)")
+	}
+
+	suite := geofm.NewSuite(*scale, *imageSize, *channels, *seed)
+	var ds *geofm.Dataset
+	for _, d := range suite.Probe {
+		if d.Name == *dataset {
+			ds = d
+		}
+	}
+	if ds == nil {
+		fatal(fmt.Errorf("unknown dataset %q (want MillionAID, UCM, AID or NWPU)", *dataset))
+	}
+
+	cfg := geofm.DefaultProbe(*batch)
+	cfg.Epochs = *epochs
+	cfg.Seed = *seed
+	cfg.Log = os.Stdout
+	res, err := geofm.LinearProbe(cfg, m.Features, enc.Width, ds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s: top1 %.2f%%  top5 %.2f%%  (train %d / test %d)\n",
+		enc.Name, ds.Name, 100*res.FinalTop1, 100*res.FinalTop5, res.TrainCount, res.TestCount)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "linprobe:", err)
+	os.Exit(1)
+}

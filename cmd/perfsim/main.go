@@ -1,0 +1,102 @@
+// Command perfsim regenerates the paper's performance tables and
+// figures (Table I, Table II, Figures 1–4) from the Frontier/FSDP
+// simulator.
+//
+// Usage:
+//
+//	perfsim -fig all            # everything
+//	perfsim -fig 1 -nodes 1,2,4,8,16,32,64
+//	perfsim -fig 4 -trace       # include the rocm-smi trace CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact to regenerate: table1, table2, 1, 2, 3, 4, minmem, all")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts (default: the paper's sweep)")
+	withTrace := flag.Bool("trace", false, "emit the Figure 4 rocm-smi trace CSVs")
+	flag.Parse()
+
+	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("table1") {
+		fmt.Println(experiments.TableIExperiment().Render())
+	}
+	if want("table2") {
+		fmt.Println(experiments.TableIIExperiment(10, 32, 3, 42).Render())
+	}
+	if want("1") {
+		t, err := experiments.Fig1Experiment(nodes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("2") {
+		t, err := experiments.Fig2Experiment()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("3") {
+		t, err := experiments.Fig3Experiment(nodes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("4") {
+		t, err := experiments.Fig4Experiment(nodes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+		traces, tt, err := experiments.Fig4TraceExperiment()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tt.Render())
+		if *withTrace {
+			for _, tr := range traces {
+				fmt.Println(tr.RenderCSV())
+			}
+		}
+	}
+	if want("minmem") {
+		fmt.Println(experiments.MinGPUTable().Render())
+	}
+}
+
+func parseNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid node count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command pretrain runs MAE self-supervised pretraining of an analog
+// ViT on the procedural MillionAID corpus and writes a checkpoint.
+//
+// Usage:
+//
+//	pretrain -model ViT-1B -image 32 -patch 8 -epochs 20 -out vit1b.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/geofm"
+)
+
+func main() {
+	model := flag.String("model", "ViT-Base", "Table I model whose analog to train (ViT-Base, ViT-Huge, ViT-1B, ViT-3B)")
+	imageSize := flag.Int("image", 32, "image size of the procedural scenes")
+	patchSize := flag.Int("patch", 8, "ViT patch size")
+	channels := flag.Int("channels", 3, "image channels")
+	scale := flag.Int("scale", 10, "Table II sample-count divisor for the corpus")
+	epochs := flag.Int("epochs", 20, "pretraining epochs")
+	steps := flag.Int("steps", 40, "max steps per epoch (0 = full corpus)")
+	batch := flag.Int("batch", 16, "local batch size")
+	lr := flag.Float64("lr", 0.02, "base learning rate (linear batch scaling applies)")
+	workers := flag.Int("workers", 4, "data loader workers")
+	seed := flag.Uint64("seed", 1, "master seed")
+	out := flag.String("out", "", "checkpoint output path (optional)")
+	flag.Parse()
+
+	enc, err := geofm.Analog(*model, *imageSize, *patchSize, *channels)
+	if err != nil {
+		fatal(err)
+	}
+	suite := geofm.NewSuite(*scale, *imageSize, *channels, *seed)
+
+	cfg := geofm.DefaultPretrain(geofm.DefaultMAE(enc))
+	cfg.Epochs = *epochs
+	cfg.MaxStepsPerEpoch = *steps
+	cfg.BatchSize = *batch
+	cfg.BaseLR = *lr
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	cfg.Log = os.Stdout
+
+	fmt.Printf("pretraining %s (%d parameters) on %s (%d images)\n",
+		enc.Name, enc.EncoderParams(), suite.Pretrain.Name, suite.Pretrain.TrainCount)
+	res, err := geofm.Pretrain(cfg, suite.Pretrain)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done: %d steps, final loss %.4f, %.1f images/s\n",
+		res.Steps, res.LossCurve.Last(), res.ImagesPerSec)
+
+	if *out != "" {
+		if err := geofm.SaveCheckpoint(*out, res.Model.Params(), res.Steps); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pretrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command repro regenerates every table and figure of the paper in one
+// run: the simulator-backed performance artifacts (Table I/II,
+// Figures 1–4) and the real-training downstream artifacts (Figure 5,
+// Figure 6, Table III) at a chosen scale.
+//
+// Usage:
+//
+//	repro                 # everything at demo scale (minutes)
+//	repro -scale test     # everything at test scale (seconds)
+//	repro -skip-training  # simulator artifacts only
+//	repro -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "demo", "downstream training scale: test (seconds) or demo (minutes)")
+	skipTraining := flag.Bool("skip-training", false, "skip the real-training Section V experiments")
+	extensions := flag.Bool("extensions", false, "also run the Section VI extension tasks (few-shot, segmentation, fine-tuning)")
+	out := flag.String("out", "", "also write the report to this file")
+	verbose := flag.Bool("v", false, "stream per-epoch training logs")
+	flag.Parse()
+
+	var sinks []io.Writer
+	sinks = append(sinks, os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+
+	fmt.Fprintln(w, "Reproduction of: Pretraining Billion-scale Geospatial Foundational Models on Frontier")
+	fmt.Fprintln(w, "(Tsaris et al., IPDPS 2024) — simulator + pure-Go training stack")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, experiments.TableIExperiment().Render())
+	fmt.Fprintln(w, experiments.TableIIExperiment(10, 32, 3, 42).Render())
+	fmt.Fprintln(w, experiments.MinGPUTable().Render())
+
+	run := func(name string, f func() (experiments.Table, error)) {
+		t, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintln(w, t.Render())
+	}
+	run("fig1", func() (experiments.Table, error) { return experiments.Fig1Experiment(nil) })
+	run("fig2", experiments.Fig2Experiment)
+	run("fig3", func() (experiments.Table, error) { return experiments.Fig3Experiment(nil) })
+	run("fig4", func() (experiments.Table, error) { return experiments.Fig4Experiment(nil) })
+	run("fig4-trace", func() (experiments.Table, error) {
+		_, t, err := experiments.Fig4TraceExperiment()
+		return t, err
+	})
+
+	if *skipTraining {
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestScale()
+	case "demo":
+		scale = experiments.DemoScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	var trainLog io.Writer
+	if *verbose {
+		trainLog = w
+	}
+	fmt.Fprintf(w, "== Section V — real training at %q scale ==\n\n", scale.Name)
+	res, err := experiments.RunDownstream(scale, trainLog)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(w, res.Fig5Experiment().Render())
+	fmt.Fprintln(w, res.TableIIIExperiment().Render())
+	fmt.Fprintln(w, res.Fig6Experiment().Render())
+	for _, d := range res.Datasets {
+		fmt.Fprintf(w, "accuracy gain %s (largest vs smallest model): %+.2f%%\n",
+			d, 100*res.AccuracyGain(d))
+	}
+
+	if *extensions {
+		fmt.Fprintf(w, "\n== Section VI — extension tasks ==\n\n")
+		ext, err := experiments.RunExtensions(scale, trainLog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, ext.ExtensionTable().Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

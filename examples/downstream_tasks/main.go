@@ -1,0 +1,87 @@
+// Downstream tasks: the paper's "envisioned next steps" (Section VI) as
+// working code — after one MAE pretraining run, adapt the encoder to
+// (a) few-shot classification at several labeled-data budgets,
+// (b) semantic segmentation via per-patch probing against procedural
+// per-pixel ground truth, and (c) full fine-tuning, comparing it to the
+// linear probe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/geofm"
+)
+
+func main() {
+	const (
+		imageSize = 32
+		patchSize = 8
+		seed      = 42
+	)
+	enc, err := geofm.Analog("ViT-Huge", imageSize, patchSize, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite := geofm.NewSuite(20, imageSize, 3, seed)
+
+	fmt.Printf("pretraining %s…\n", enc.Name)
+	cfg := geofm.DefaultPretrain(geofm.DefaultMAE(enc))
+	cfg.Epochs = 10
+	cfg.MaxStepsPerEpoch = 30
+	cfg.BatchSize = 16
+	cfg.BaseLR = 0.02
+	pre, err := geofm.Pretrain(cfg, suite.Pretrain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ucm := suite.Probe[1]
+
+	// (a) Few-shot classification.
+	fmt.Println("\nfew-shot classification on UCM:")
+	probeCfg := geofm.DefaultProbe(16)
+	probeCfg.Epochs = 25
+	sweep, err := geofm.ShotSweep(probeCfg, pre.Model.Features, enc.Width, ucm, []int{1, 2, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range sweep {
+		fmt.Printf("  %-14s top1 %6.2f%%  (train %d / test %d)\n",
+			r.Dataset, 100*r.FinalTop1, r.TrainCount, r.TestCount)
+	}
+
+	// (b) Semantic segmentation by per-patch probing.
+	fmt.Println("\nsemantic segmentation (background / structure / grid):")
+	segCfg := geofm.DefaultSeg()
+	segCfg.Epochs = 20
+	seg, err := geofm.Segment(segCfg, pre.Model.TokenFeatures, enc.Width, ucm, patchSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  patch accuracy %.2f%%  mean IoU %.3f  per-class IoU %v\n",
+		100*seg.PatchAccuracy, seg.MeanIoU, fmtIoU(seg.PerClassIoU))
+
+	// (c) Fine-tuning versus linear probing.
+	fmt.Println("\nfine-tuning vs linear probing on UCM:")
+	lp, err := geofm.LinearProbe(probeCfg, pre.Model.Features, enc.Width, ucm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ftCfg := geofm.DefaultFineTune()
+	ftCfg.Epochs = 8
+	ftCfg.BaseLR = 0.02
+	ft, err := geofm.FineTune(ftCfg, pre.Model, ucm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  linear probe top1 %.2f%%   fine-tune top1 %.2f%%\n",
+		100*lp.FinalTop1, 100*ft.FinalTop1)
+}
+
+func fmtIoU(v []float64) []string {
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = fmt.Sprintf("%.2f", x)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Scaling study: use the Frontier/FSDP simulator to plan a pretraining
+// campaign — sweep node counts and sharding strategies for a model that
+// does not fit on one GPU, and report throughput, efficiency, memory
+// and power, as in the paper's Section IV.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/geofm"
+)
+
+func main() {
+	machine := geofm.Frontier()
+	model := geofm.ViT5B
+	workload := geofm.ViTWorkload(model, 32)
+
+	fmt.Printf("scaling study: %s (%d M parameters) on %s, local batch %d\n\n",
+		model.Name, model.EncoderParams()/1e6, machine.Name, workload.LocalBatch)
+
+	plans := []geofm.Plan{
+		geofm.BestPractice(geofm.HybridShard, 2),
+		geofm.BestPractice(geofm.HybridShard, 8),
+		geofm.BestPractice(geofm.FullShard, 0),
+		geofm.BestPractice(geofm.ShardGradOp, 0),
+	}
+
+	fmt.Printf("%-14s", "nodes")
+	for _, p := range plans {
+		fmt.Printf("%16s", p.Name())
+	}
+	fmt.Println()
+
+	nodes := []int{2, 4, 8, 16, 32, 64}
+	base := map[string]float64{}
+	for _, n := range nodes {
+		fmt.Printf("%-14d", n)
+		for _, p := range plans {
+			r, err := geofm.Simulate(workload, machine, n, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, ok := base[p.Name()]; !ok {
+				base[p.Name()] = r.ImagesPerSec / float64(n)
+			}
+			eff := r.ImagesPerSec / (base[p.Name()] * float64(n))
+			fmt.Printf("  %7.0f (%3.0f%%)", r.ImagesPerSec, 100*eff)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nper-GPU footprint and power at 32 nodes:")
+	for _, p := range plans {
+		r, err := geofm.Simulate(workload, machine, 32, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s  %5.1f GB  %5.0f W  util %3.0f%%  exposed comm %4.0f ms/step\n",
+			p.Name(), r.MemoryPerGPU/1e9, r.AvgPowerPerGPU, 100*r.GPUUtilization, 1e3*r.ExposedComm)
+	}
+}

@@ -1,0 +1,52 @@
+// Sharding advisor: the paper's Section IV-E "practical guide" as a
+// tool — for every Table I model, recommend an FSDP configuration for a
+// target node count, explain why, and validate the choice against the
+// simulated alternatives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/geofm"
+)
+
+func main() {
+	machine := geofm.Frontier()
+	const nodes = 32
+
+	for _, model := range geofm.TableI {
+		plan, rationale := geofm.Advise(model, nodes)
+		fmt.Printf("%s → %s\n  %s\n", model.Name, plan.Name(), rationale)
+
+		// Validate: simulate the recommendation against every strategy
+		// the paper studies and report its rank.
+		w := geofm.ViTWorkload(model, 32)
+		if model.Name == "ViT-15B" {
+			w.ActCheckpoint = true
+		}
+		candidates := []geofm.Plan{
+			geofm.BestPractice(geofm.HybridShard, 1),
+			geofm.BestPractice(geofm.HybridShard, 2),
+			geofm.BestPractice(geofm.HybridShard, 8),
+			geofm.BestPractice(geofm.FullShard, 0),
+			geofm.BestPractice(geofm.ShardGradOp, 0),
+		}
+		recommended, err := geofm.Simulate(w, machine, nodes, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		better := 0
+		for _, c := range candidates {
+			r, err := geofm.Simulate(w, machine, nodes, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.Fits && r.ImagesPerSec > recommended.ImagesPerSec*1.001 && c.Name() != plan.Name() {
+				better++
+			}
+		}
+		fmt.Printf("  simulated: %.0f images/s, %.1f GB/GPU; %d of %d alternatives beat it\n\n",
+			recommended.ImagesPerSec, recommended.MemoryPerGPU/1e9, better, len(candidates))
+	}
+}

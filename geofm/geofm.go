@@ -1,0 +1,280 @@
+// Package geofm is the public API of the geospatial foundation-model
+// library: pretraining billion-scale-style Vision Transformers with
+// masked autoencoding on remote-sensing imagery, adapting them to
+// downstream classification via linear probing, and planning/simulating
+// distributed training runs on Frontier-class systems with PyTorch-FSDP
+// sharding semantics.
+//
+// The package re-exports the stable types of the internal
+// implementation through aliases, so downstream code imports a single
+// package:
+//
+//	enc, _ := geofm.Analog("ViT-3B", 32, 8, 3)
+//	res, _ := geofm.Pretrain(geofm.DefaultPretrain(geofm.DefaultMAE(enc)), dataset)
+//	probe, _ := geofm.LinearProbe(geofm.DefaultProbe(256), res.Model.Features, enc.Width, ucm)
+//
+//	plan, why := geofm.Advise(geofm.ViT5B, 32)     // sharding advisor
+//	sim, _ := geofm.Simulate(geofm.ViTWorkload(geofm.ViT5B, 32), geofm.Frontier(), 32, plan)
+package geofm
+
+import (
+	"fmt"
+
+	"repro/internal/fsdp"
+	"repro/internal/geodata"
+	"repro/internal/hw"
+	"repro/internal/mae"
+	"repro/internal/perfmodel"
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/train"
+	"repro/internal/vit"
+)
+
+// ---- Model architectures (Table I) ------------------------------------
+
+// ViTConfig describes a Vision Transformer encoder variant.
+type ViTConfig = vit.Config
+
+// The paper's Table I variants.
+var (
+	ViTBase = vit.ViTBase
+	ViTHuge = vit.ViTHuge
+	ViT1B   = vit.ViT1B
+	ViT3B   = vit.ViT3B
+	ViT5B   = vit.ViT5B
+	ViT15B  = vit.ViT15B
+	// TableI lists all six variants in the paper's order.
+	TableI = vit.TableI
+)
+
+// ModelByName resolves a Table I variant by its paper name.
+func ModelByName(name string) (ViTConfig, error) { return vit.ByName(name) }
+
+// Analog returns a laptop-trainable scaled-down analog of a Table I
+// variant (preserving the size ordering), for real training runs.
+func Analog(name string, imageSize, patchSize, channels int) (ViTConfig, error) {
+	return vit.Analog(name, imageSize, patchSize, channels)
+}
+
+// AnalogFamily returns the Base/Huge/1B/3B analogs in order.
+func AnalogFamily(imageSize, patchSize, channels int) ([]ViTConfig, error) {
+	return vit.AnalogFamily(imageSize, patchSize, channels)
+}
+
+// ---- MAE pretraining ---------------------------------------------------
+
+// MAEConfig couples an encoder with masked-autoencoder settings.
+type MAEConfig = mae.Config
+
+// MAEModel is a trainable masked autoencoder.
+type MAEModel = mae.Model
+
+// DefaultMAE returns the paper's MAE configuration (75% masking,
+// lightweight 512×8 decoder) for the given encoder.
+func DefaultMAE(enc ViTConfig) MAEConfig { return mae.Default(enc) }
+
+// NewMAE constructs a trainable model with weights from the given seed.
+func NewMAE(cfg MAEConfig, seed uint64) *MAEModel { return mae.New(cfg, rng.New(seed)) }
+
+// PretrainConfig carries pretraining hyper-parameters.
+type PretrainConfig = train.PretrainConfig
+
+// PretrainResult bundles the trained model and telemetry.
+type PretrainResult = train.PretrainResult
+
+// DefaultPretrain returns the paper's pretraining recipe (AdamW base LR
+// 1.5e-4, weight decay 0.05, cosine schedule, 100 epochs).
+func DefaultPretrain(m MAEConfig) PretrainConfig { return train.DefaultPretrain(m) }
+
+// Pretrain runs MAE pretraining over the dataset's training split.
+func Pretrain(cfg PretrainConfig, ds *Dataset) (*PretrainResult, error) {
+	return train.Pretrain(cfg, ds)
+}
+
+// SaveCheckpoint / LoadCheckpoint persist model parameters.
+var (
+	SaveCheckpoint = train.SaveParamsFile
+	LoadCheckpoint = train.LoadParamsFile
+)
+
+// ---- Datasets ----------------------------------------------------------
+
+// Dataset is a labeled procedural remote-sensing dataset.
+type Dataset = geodata.Dataset
+
+// Suite bundles the pretraining corpus and the four probing datasets of
+// Table II (procedural analogs).
+type Suite = geodata.Suite
+
+// NewSuite builds Table II analogs at the given scale divisor.
+func NewSuite(scale, imageSize, channels int, seed uint64) *Suite {
+	return geodata.NewSuite(scale, imageSize, channels, seed)
+}
+
+// ---- Linear probing (downstream evaluation) ----------------------------
+
+// ProbeConfig carries linear-probing hyper-parameters.
+type ProbeConfig = probe.Config
+
+// ProbeResult is the per-epoch accuracy trajectory of one probe.
+type ProbeResult = probe.Result
+
+// FeatureFunc maps image batches to feature matrices.
+type FeatureFunc = probe.FeatureFunc
+
+// DefaultProbe returns the paper's probing recipe (LARS, base LR 0.1,
+// 100 epochs) for the given global batch.
+func DefaultProbe(batch int) ProbeConfig { return probe.Default(batch) }
+
+// LinearProbe trains a linear classifier on frozen features.
+func LinearProbe(cfg ProbeConfig, features FeatureFunc, featDim int, ds *Dataset) (*ProbeResult, error) {
+	return probe.Run(cfg, features, featDim, ds)
+}
+
+// ---- Extended downstream tasks (the paper's envisioned next steps) -----
+
+// FewShot evaluates k-shot adaptation: the probe trains on only `shots`
+// labeled examples per class.
+func FewShot(cfg ProbeConfig, features FeatureFunc, featDim int, ds *Dataset, shots int) (*ProbeResult, error) {
+	return probe.FewShot(cfg, features, featDim, ds, shots)
+}
+
+// ShotSweep runs FewShot across several labeled-data budgets.
+func ShotSweep(cfg ProbeConfig, features FeatureFunc, featDim int, ds *Dataset, shots []int) ([]*ProbeResult, error) {
+	return probe.ShotSweep(cfg, features, featDim, ds, shots)
+}
+
+// TokenFeatureFunc maps images to per-patch-token features
+// (MAEModel.TokenFeatures satisfies it).
+type TokenFeatureFunc = probe.TokenFeatureFunc
+
+// SegConfig configures semantic-segmentation probing.
+type SegConfig = probe.SegConfig
+
+// SegResult reports segmentation probing quality (patch accuracy, mIoU).
+type SegResult = probe.SegResult
+
+// DefaultSeg returns the segmentation probing recipe.
+func DefaultSeg() SegConfig { return probe.DefaultSeg() }
+
+// Segment trains a per-token linear head for semantic segmentation on
+// frozen features against the procedural per-pixel ground truth.
+func Segment(cfg SegConfig, features TokenFeatureFunc, featDim int, ds *Dataset, patchSize int) (*SegResult, error) {
+	return probe.RunSegmentation(cfg, features, featDim, ds, patchSize)
+}
+
+// FineTuneConfig configures end-to-end fine-tuning.
+type FineTuneConfig = probe.FineTuneConfig
+
+// FineTuneResult reports fine-tuning accuracy per epoch.
+type FineTuneResult = probe.FineTuneResult
+
+// DefaultFineTune returns the fine-tuning recipe.
+func DefaultFineTune() FineTuneConfig { return probe.DefaultFineTune() }
+
+// FineTune updates the encoder trunk jointly with a fresh classifier
+// head (in contrast to LinearProbe's frozen trunk). The model is
+// modified in place.
+func FineTune(cfg FineTuneConfig, model *MAEModel, ds *Dataset) (*FineTuneResult, error) {
+	return probe.FineTune(cfg, model, ds)
+}
+
+// ---- Performance planning and simulation -------------------------------
+
+// Machine is a modeled GPU cluster.
+type Machine = hw.Machine
+
+// Frontier returns the paper's machine: 8 GCDs/node, 64 GB HBM,
+// Infinity Fabric + Slingshot-11.
+func Frontier() Machine { return hw.Frontier() }
+
+// Workload describes one rank's per-step training work.
+type Workload = perfmodel.Workload
+
+// ViTWorkload profiles supervised-ViT training (Sections IV-B/C/D).
+func ViTWorkload(cfg ViTConfig, localBatch int) Workload {
+	return perfmodel.ViTWorkload(cfg, localBatch)
+}
+
+// MAEPerfWorkload profiles MAE pretraining (Figure 1).
+func MAEPerfWorkload(cfg ViTConfig, localBatch int, maskRatio float64) Workload {
+	return perfmodel.MAEWorkload(cfg, localBatch, maskRatio)
+}
+
+// Plan is one distributed-training configuration.
+type Plan = fsdp.Plan
+
+// SimResult is a simulated training-step outcome.
+type SimResult = fsdp.Result
+
+// Strategy and prefetch constants.
+const (
+	DDP         = fsdp.DDP
+	NoShard     = fsdp.NoShard
+	FullShard   = fsdp.FullShard
+	ShardGradOp = fsdp.ShardGradOp
+	HybridShard = fsdp.HybridShard
+
+	PrefetchNone = fsdp.PrefetchNone
+	BackwardPost = fsdp.BackwardPost
+	BackwardPre  = fsdp.BackwardPre
+)
+
+// BestPractice returns the Section IV-E recommended configuration for a
+// strategy: BACKWARD_PRE prefetch with limit_all_gathers.
+func BestPractice(s fsdp.Strategy, group int) Plan { return fsdp.BestPractice(s, group) }
+
+// Simulate models one training step on the machine.
+func Simulate(w Workload, m Machine, nodes int, plan Plan) (SimResult, error) {
+	return fsdp.Simulate(w, m, nodes, plan)
+}
+
+// MinGPUs returns the smallest sharding-group size that fits the
+// workload in HBM.
+func MinGPUs(w Workload, m Machine) int { return fsdp.MinGPUs(w, m) }
+
+// Advise implements the paper's Section IV-E practical guide: given a
+// model and node count it recommends an FSDP plan and explains why.
+//
+//   - fits on one GCD           → HYBRID_1GPU (pure data parallel via
+//     FSDP, per-unit overlapped all-reduce)
+//   - fits within one node      → HYBRID_SHARD across the node (model
+//     sharding on fast links, data-parallel all-reduce across nodes)
+//   - needs half a node or more → SHARD_GRAD_OP (gather once per step,
+//     keep params through backward)
+func Advise(cfg ViTConfig, nodes int) (Plan, string) {
+	m := Frontier()
+	w := ViTWorkload(cfg, 32)
+	// Models beyond ~4B parameters train with activation checkpointing
+	// on the real system (Section IV-D's ViT-15B runs require it).
+	if cfg.EncoderParams() > 4e9 {
+		w.ActCheckpoint = true
+	}
+	min := MinGPUs(w, m)
+	if min == 0 && !w.ActCheckpoint {
+		w.ActCheckpoint = true
+		min = MinGPUs(w, m)
+	}
+	switch {
+	case min == 0:
+		return BestPractice(FullShard, 0), fmt.Sprintf(
+			"%s does not fit even fully sharded at this batch; FULL_SHARD across all %d GCDs minimizes per-GPU state",
+			cfg.Name, m.TotalGPUs(nodes))
+	case min == 1:
+		return BestPractice(HybridShard, 1), fmt.Sprintf(
+			"%s fits on a single GCD: HYBRID_1GPU is the fastest data-parallel mode (per-block overlapped all-reduce, no sharding cost)",
+			cfg.Name)
+	case min <= 2 && nodes > 1:
+		return BestPractice(HybridShard, m.GPUsPerNode), fmt.Sprintf(
+			"%s fits on %d GCDs: shard within the node (HYBRID_%dGPUs) so only gradient shards cross the slow inter-node network",
+			cfg.Name, min, m.GPUsPerNode)
+	case min <= 2:
+		return BestPractice(HybridShard, min), fmt.Sprintf(
+			"%s fits on %d GCDs of a single node: the smallest sharding group minimizes collective cost", cfg.Name, min)
+	default:
+		return BestPractice(ShardGradOp, 0), fmt.Sprintf(
+			"%s needs %d+ GCDs: SHARD_GRAD_OP gathers parameters once per step and scales best (Section IV-D)",
+			cfg.Name, min)
+	}
+}

@@ -1,0 +1,232 @@
+// Package dataload implements a PyTorch-style data loader: worker
+// goroutines render/decode samples concurrently, a bounded prefetch
+// queue decouples data production from the training loop, and batch
+// delivery is strictly ordered so training runs are reproducible
+// regardless of worker count — mirroring the "4 data loader workers per
+// GPU rank" configuration in the paper's Figure 1 IO study.
+package dataload
+
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Source supplies labeled samples by index. Implementations must be
+// safe for concurrent Sample calls (geodata generators are: they only
+// read archetype tables).
+type Source interface {
+	// Len returns the number of samples.
+	Len() int
+	// ImageLen returns the per-sample buffer size.
+	ImageLen() int
+	// Sample renders sample i into dst and returns its label.
+	Sample(i int, dst []float32) int
+}
+
+// Batch is one delivered mini-batch. Images holds Size contiguous
+// samples; Labels holds the Size labels. Return exhausted batches to
+// the loader with Recycle to avoid reallocation.
+type Batch struct {
+	Images []float32
+	Labels []int
+	Size   int
+}
+
+// Loader streams shuffled, batched samples from a Source.
+type Loader struct {
+	src       Source
+	batchSize int
+	workers   int
+	prefetch  int
+	shuffle   bool
+	dropLast  bool
+	rng       *rng.RNG
+
+	pool sync.Pool
+}
+
+// Config configures a Loader.
+type Config struct {
+	BatchSize int
+	// Workers is the number of concurrent sample-producing goroutines
+	// (default 1).
+	Workers int
+	// Prefetch bounds the number of in-flight batches (default 2).
+	Prefetch int
+	// Shuffle reshuffles sample order each epoch (deterministically
+	// from Seed).
+	Shuffle bool
+	// DropLast discards a trailing partial batch, as the paper's
+	// fixed-local-batch runs do.
+	DropLast bool
+	Seed     uint64
+}
+
+// New constructs a loader over src.
+func New(src Source, cfg Config) *Loader {
+	if cfg.BatchSize <= 0 {
+		panic("dataload: batch size must be positive")
+	}
+	w := cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	pf := cfg.Prefetch
+	if pf < 1 {
+		pf = 2
+	}
+	l := &Loader{
+		src:       src,
+		batchSize: cfg.BatchSize,
+		workers:   w,
+		prefetch:  pf,
+		shuffle:   cfg.Shuffle,
+		dropLast:  cfg.DropLast,
+		rng:       rng.New(cfg.Seed),
+	}
+	imgLen := src.ImageLen()
+	bs := cfg.BatchSize
+	l.pool.New = func() any {
+		return &Batch{
+			Images: make([]float32, bs*imgLen),
+			Labels: make([]int, bs),
+		}
+	}
+	return l
+}
+
+// BatchesPerEpoch returns the number of batches an epoch yields.
+func (l *Loader) BatchesPerEpoch() int {
+	n := l.src.Len() / l.batchSize
+	if !l.dropLast && l.src.Len()%l.batchSize != 0 {
+		n++
+	}
+	return n
+}
+
+// Recycle returns a batch's buffers to the loader pool.
+func (l *Loader) Recycle(b *Batch) {
+	if b != nil {
+		l.pool.Put(b)
+	}
+}
+
+// batchJob is one batch's work order plus its completion signal.
+type batchJob struct {
+	indices []int
+	out     *Batch
+	done    chan struct{}
+}
+
+// Epoch launches workers for one pass over the data and returns a
+// channel of batches in deterministic order. The caller must drain the
+// channel (or consume it fully) for the workers to exit.
+func (l *Loader) Epoch() <-chan *Batch {
+	return l.EpochN(0)
+}
+
+// EpochN is Epoch truncated to at most maxBatches batches (0 = all).
+// The shuffle still permutes the whole dataset, so successive truncated
+// epochs draw different subsets — how a capped steps-per-epoch schedule
+// samples a large corpus.
+func (l *Loader) EpochN(maxBatches int) <-chan *Batch {
+	n := l.src.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if l.shuffle {
+		l.rng.Shuffle(order)
+	}
+
+	var jobs []*batchJob
+	for start := 0; start < n; start += l.batchSize {
+		if maxBatches > 0 && len(jobs) >= maxBatches {
+			break
+		}
+		end := start + l.batchSize
+		if end > n {
+			if l.dropLast {
+				break
+			}
+			end = n
+		}
+		jobs = append(jobs, &batchJob{
+			indices: order[start:end],
+			done:    make(chan struct{}),
+		})
+	}
+
+	jobCh := make(chan *batchJob)
+	imgLen := l.src.ImageLen()
+	for w := 0; w < l.workers; w++ {
+		go func() {
+			for j := range jobCh {
+				b := l.pool.Get().(*Batch)
+				b.Size = len(j.indices)
+				b.Images = b.Images[:b.Size*imgLen]
+				b.Labels = b.Labels[:b.Size]
+				for k, idx := range j.indices {
+					b.Labels[k] = l.src.Sample(idx, b.Images[k*imgLen:(k+1)*imgLen])
+				}
+				j.out = b
+				close(j.done)
+			}
+		}()
+	}
+
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+	}()
+
+	out := make(chan *Batch, l.prefetch)
+	go func() {
+		for _, j := range jobs {
+			<-j.done
+			out <- j.out
+		}
+		close(out)
+	}()
+	return out
+}
+
+// TrainSplit adapts a geodata-style dataset's training split to the
+// Source interface.
+type TrainSplit struct {
+	D interface {
+		TrainSample(i int, dst []float32) int
+	}
+	Count  int
+	ImgLen int
+}
+
+// Len returns the split size.
+func (s TrainSplit) Len() int { return s.Count }
+
+// ImageLen returns the sample buffer size.
+func (s TrainSplit) ImageLen() int { return s.ImgLen }
+
+// Sample renders sample i.
+func (s TrainSplit) Sample(i int, dst []float32) int { return s.D.TrainSample(i, dst) }
+
+// TestSplit adapts a test split to the Source interface.
+type TestSplit struct {
+	D interface {
+		TestSample(i int, dst []float32) int
+	}
+	Count  int
+	ImgLen int
+}
+
+// Len returns the split size.
+func (s TestSplit) Len() int { return s.Count }
+
+// ImageLen returns the sample buffer size.
+func (s TestSplit) ImageLen() int { return s.ImgLen }
+
+// Sample renders sample i.
+func (s TestSplit) Sample(i int, dst []float32) int { return s.D.TestSample(i, dst) }

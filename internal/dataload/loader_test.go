@@ -1,0 +1,244 @@
+package dataload
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geodata"
+)
+
+// countingSource is a synthetic Source recording how often each index
+// is sampled.
+type countingSource struct {
+	n      int
+	imgLen int
+	hits   []atomic.Int32
+}
+
+func newCountingSource(n, imgLen int) *countingSource {
+	return &countingSource{n: n, imgLen: imgLen, hits: make([]atomic.Int32, n)}
+}
+
+func (s *countingSource) Len() int      { return s.n }
+func (s *countingSource) ImageLen() int { return s.imgLen }
+func (s *countingSource) Sample(i int, dst []float32) int {
+	s.hits[i].Add(1)
+	for j := range dst {
+		dst[j] = float32(i)
+	}
+	return i % 7
+}
+
+func TestEpochCoversEverySampleOnce(t *testing.T) {
+	src := newCountingSource(103, 4)
+	l := New(src, Config{BatchSize: 8, Workers: 4, Shuffle: true, Seed: 1})
+	total := 0
+	for b := range l.Epoch() {
+		total += b.Size
+		l.Recycle(b)
+	}
+	if total != 103 {
+		t.Fatalf("delivered %d samples, want 103", total)
+	}
+	for i := range src.hits {
+		if got := src.hits[i].Load(); got != 1 {
+			t.Fatalf("sample %d rendered %d times", i, got)
+		}
+	}
+}
+
+func TestDropLast(t *testing.T) {
+	src := newCountingSource(103, 4)
+	l := New(src, Config{BatchSize: 8, Workers: 2, DropLast: true, Seed: 1})
+	if l.BatchesPerEpoch() != 12 {
+		t.Fatalf("BatchesPerEpoch=%d want 12", l.BatchesPerEpoch())
+	}
+	batches := 0
+	for b := range l.Epoch() {
+		if b.Size != 8 {
+			t.Fatalf("batch size %d with DropLast", b.Size)
+		}
+		batches++
+		l.Recycle(b)
+	}
+	if batches != 12 {
+		t.Fatalf("batches=%d", batches)
+	}
+}
+
+func TestNoDropLastKeepsPartial(t *testing.T) {
+	src := newCountingSource(10, 2)
+	l := New(src, Config{BatchSize: 4, Workers: 1, Seed: 1})
+	if l.BatchesPerEpoch() != 3 {
+		t.Fatalf("BatchesPerEpoch=%d", l.BatchesPerEpoch())
+	}
+	sizes := []int{}
+	for b := range l.Epoch() {
+		sizes = append(sizes, b.Size)
+		l.Recycle(b)
+	}
+	if len(sizes) != 3 || sizes[2] != 2 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+}
+
+func TestOrderDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The delivered batch sequence (contents, in order) must not depend
+	// on the worker count — this is what makes training reproducible.
+	collect := func(workers int) [][]int {
+		src := newCountingSource(40, 2)
+		l := New(src, Config{BatchSize: 8, Workers: workers, Shuffle: true, Seed: 99})
+		var all [][]int
+		for b := range l.Epoch() {
+			all = append(all, append([]int(nil), b.Labels...))
+			l.Recycle(b)
+		}
+		return all
+	}
+	a := collect(1)
+	b := collect(8)
+	if len(a) != len(b) {
+		t.Fatalf("batch counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("batch %d differs between worker counts", i)
+			}
+		}
+	}
+}
+
+func TestShuffleChangesOrderAcrossEpochs(t *testing.T) {
+	src := newCountingSource(64, 1)
+	l := New(src, Config{BatchSize: 64, Workers: 2, Shuffle: true, Seed: 5})
+	first := <-l.Epoch()
+	order1 := append([]float32(nil), first.Images...)
+	l.Recycle(first)
+	second := <-l.Epoch()
+	same := true
+	for i := range order1 {
+		if order1[i] != second.Images[i] {
+			same = false
+			break
+		}
+	}
+	l.Recycle(second)
+	if same {
+		t.Fatal("two shuffled epochs had identical order")
+	}
+}
+
+func TestNoShuffleIsSequential(t *testing.T) {
+	src := newCountingSource(12, 1)
+	l := New(src, Config{BatchSize: 4, Workers: 3, Seed: 5})
+	want := float32(0)
+	for b := range l.Epoch() {
+		for i := 0; i < b.Size; i++ {
+			if b.Images[i] != want {
+				t.Fatalf("got sample %v want %v", b.Images[i], want)
+			}
+			want++
+		}
+		l.Recycle(b)
+	}
+}
+
+func TestBatchSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for batch size 0")
+		}
+	}()
+	New(newCountingSource(4, 1), Config{BatchSize: 0})
+}
+
+func TestGeodataSplitsThroughLoader(t *testing.T) {
+	gen := geodata.NewSceneGen(5, 8, 3, 1)
+	d := &geodata.Dataset{Name: "t", Gen: gen, TrainCount: 20, TestCount: 10}
+	tr := TrainSplit{D: d, Count: d.TrainCount, ImgLen: gen.ImageLen()}
+	te := TestSplit{D: d, Count: d.TestCount, ImgLen: gen.ImageLen()}
+
+	l := New(tr, Config{BatchSize: 6, Workers: 2, Shuffle: true, Seed: 2})
+	seen := 0
+	for b := range l.Epoch() {
+		seen += b.Size
+		for i := 0; i < b.Size; i++ {
+			if b.Labels[i] < 0 || b.Labels[i] >= 5 {
+				t.Fatalf("label %d out of range", b.Labels[i])
+			}
+		}
+		l.Recycle(b)
+	}
+	if seen != 20 {
+		t.Fatalf("train samples seen=%d", seen)
+	}
+
+	lt := New(te, Config{BatchSize: 10, Workers: 2, Seed: 2})
+	bt := <-lt.Epoch()
+	if bt.Size != 10 {
+		t.Fatalf("test batch size %d", bt.Size)
+	}
+}
+
+func BenchmarkLoaderThroughput(b *testing.B) {
+	gen := geodata.NewSceneGen(51, 32, 3, 1)
+	d := &geodata.Dataset{Name: "bench", Gen: gen, TrainCount: 1024}
+	src := TrainSplit{D: d, Count: d.TrainCount, ImgLen: gen.ImageLen()}
+	l := New(src, Config{BatchSize: 32, Workers: 4, Shuffle: true, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for batch := range l.Epoch() {
+			l.Recycle(batch)
+		}
+	}
+}
+
+func TestEpochNTruncates(t *testing.T) {
+	src := newCountingSource(100, 2)
+	l := New(src, Config{BatchSize: 10, Workers: 3, Shuffle: true, Seed: 4})
+	batches := 0
+	for b := range l.EpochN(3) {
+		batches++
+		l.Recycle(b)
+	}
+	if batches != 3 {
+		t.Fatalf("batches=%d want 3", batches)
+	}
+	// Zero means the full epoch.
+	full := 0
+	for b := range l.EpochN(0) {
+		full++
+		l.Recycle(b)
+	}
+	if full != 10 {
+		t.Fatalf("full=%d want 10", full)
+	}
+}
+
+func TestEpochNDrawsDifferentSubsets(t *testing.T) {
+	// Successive truncated epochs reshuffle the whole dataset, so the
+	// sampled subsets differ across epochs.
+	src := newCountingSource(64, 1)
+	l := New(src, Config{BatchSize: 8, Workers: 2, Shuffle: true, Seed: 5})
+	grab := func() map[float32]bool {
+		seen := map[float32]bool{}
+		for b := range l.EpochN(2) {
+			for i := 0; i < b.Size; i++ {
+				seen[b.Images[i]] = true
+			}
+			l.Recycle(b)
+		}
+		return seen
+	}
+	a, b := grab(), grab()
+	diff := 0
+	for k := range b {
+		if !a[k] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("two truncated epochs sampled identical subsets")
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== T ==", "a", "bb", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIExperiment(t *testing.T) {
+	tab := TableIExperiment()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows=%d want 6", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "ViT-Base" || tab.Rows[5][0] != "ViT-15B" {
+		t.Fatal("model ordering wrong")
+	}
+}
+
+func TestTableIIExperiment(t *testing.T) {
+	tab := TableIIExperiment(10, 16, 3, 1)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows=%d want 5", len(tab.Rows))
+	}
+	// Paper columns fixed regardless of scale.
+	if tab.Rows[0][1] != "990848" {
+		t.Fatalf("pretrain count cell=%q", tab.Rows[0][1])
+	}
+}
+
+func TestFig1Experiment(t *testing.T) {
+	tab, err := Fig1Experiment([]int{1, 4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	// IO column must exceed syn column on every row (never IO-bound).
+	for _, row := range tab.Rows {
+		io := mustF(t, row[3])
+		syn := mustF(t, row[5])
+		if io <= syn {
+			t.Fatalf("IO-bound row: %v", row)
+		}
+	}
+	// Comm gap must grow from the first to the last row.
+	if mustF(t, tab.Rows[0][7]) >= mustF(t, tab.Rows[2][7]) {
+		t.Fatalf("comm gap did not grow: %v vs %v", tab.Rows[0][7], tab.Rows[2][7])
+	}
+}
+
+func TestFig2Experiment(t *testing.T) {
+	tab, err := Fig2Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3*3*2 {
+		t.Fatalf("rows=%d want 18", len(tab.Rows))
+	}
+}
+
+func TestFig3Experiment(t *testing.T) {
+	tab, err := Fig3Experiment([]int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4*5 {
+		t.Fatalf("rows=%d want 20", len(tab.Rows))
+	}
+}
+
+func TestFig4Experiment(t *testing.T) {
+	tab, err := Fig4Experiment([]int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6+5 {
+		t.Fatalf("rows=%d want 11", len(tab.Rows))
+	}
+}
+
+func TestFig4TraceExperiment(t *testing.T) {
+	traces, tab, err := Fig4TraceExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 || len(tab.Rows) != 3 {
+		t.Fatalf("traces=%d rows=%d", len(traces), len(tab.Rows))
+	}
+}
+
+func TestMinGPUTable(t *testing.T) {
+	tab := MinGPUTable()
+	want := map[string]string{"ViT-3B": "1", "ViT-5B": "2", "ViT-15B": "4"}
+	for _, row := range tab.Rows {
+		if row[2] != want[row[0]] {
+			t.Fatalf("%s MinGPUs=%s want %s", row[0], row[2], want[row[0]])
+		}
+	}
+}
+
+// TestRunDownstreamEndToEnd is the smallest full Section V pipeline:
+// four models pretrained and probed at test scale. It checks the
+// structural contract; the Fig5/Table III *trend* assertions live in
+// the root-level benchmarks and cmd/repro where bigger scales run.
+func TestRunDownstreamEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunDownstream(TestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 4 {
+		t.Fatalf("models=%v", res.Models)
+	}
+	if len(res.Datasets) != 4 {
+		t.Fatalf("datasets=%v", res.Datasets)
+	}
+	for _, m := range res.Models {
+		if res.PretrainLoss[m] == nil || len(res.PretrainLoss[m].Y) == 0 {
+			t.Fatalf("no loss curve for %s", m)
+		}
+		for _, d := range res.Datasets {
+			r := res.Probe[m][d]
+			if r == nil {
+				t.Fatalf("missing probe %s/%s", m, d)
+			}
+			if r.FinalTop1 < 0 || r.FinalTop1 > 1 {
+				t.Fatalf("top1 %v out of range", r.FinalTop1)
+			}
+		}
+	}
+	// Rendering must not panic and must include every model.
+	for _, tab := range []Table{res.TableIIIExperiment(), res.Fig5Experiment(), res.Fig6Experiment()} {
+		out := tab.Render()
+		if !strings.Contains(out, "ViT-3B-analog") {
+			t.Fatalf("table missing largest model:\n%s", out)
+		}
+	}
+	_ = res.AccuracyGain("UCM")
+}
+
+func mustF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric", s)
+	}
+	return v
+}
+
+func TestRunExtensionsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunExtensions(TestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FewShot) != len(res.Shots) {
+		t.Fatalf("few-shot results %d for %d shot counts", len(res.FewShot), len(res.Shots))
+	}
+	if res.Seg == nil || res.Seg.MeanIoU < 0 || res.Seg.MeanIoU > 1 {
+		t.Fatalf("segmentation result invalid: %+v", res.Seg)
+	}
+	if res.FineTune == nil {
+		t.Fatal("missing fine-tune result")
+	}
+	out := res.ExtensionTable().Render()
+	for _, want := range []string{"few-shot (k=1)", "segmentation probe", "fine-tune"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

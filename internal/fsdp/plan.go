@@ -1,0 +1,177 @@
+// Package fsdp simulates PyTorch Fully Sharded Data Parallel training
+// on the modeled Frontier machine. It reproduces FSDP's observable
+// behaviour — the per-unit all-gather / reduce-scatter / all-reduce
+// schedule of each sharding strategy, backward prefetching policies,
+// the limit_all_gathers rate limiter, and DDP's fixed-size gradient
+// buckets — as a discrete-event task graph over one compute stream and
+// one communication stream per rank (ranks are symmetric, so one
+// representative rank is simulated).
+//
+// Sharding strategies follow Section III-C of the paper:
+//
+//	NO_SHARD       – pure data parallel through FSDP (≈ DDP semantics)
+//	FULL_SHARD     – params, grads and optimizer state sharded over all
+//	                 ranks; params re-gathered in forward AND backward
+//	SHARD_GRAD_OP  – grads and optimizer state sharded; params gathered
+//	                 in forward and kept until backward
+//	HYBRID_SHARD   – FULL_SHARD within a sharding group of GroupSize
+//	                 GPUs, replication with gradient all-reduce across
+//	                 groups (HYBRID_1GPU, HYBRID_2GPUs, … in the paper)
+//	DDP            – classic DistributedDataParallel with fixed-size
+//	                 gradient buckets, the baseline of Figure 3
+package fsdp
+
+import (
+	"fmt"
+)
+
+// Strategy enumerates the distributed strategies of the paper.
+type Strategy int
+
+// Strategies studied in the paper.
+const (
+	DDP Strategy = iota
+	NoShard
+	FullShard
+	ShardGradOp
+	HybridShard
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case DDP:
+		return "DDP"
+	case NoShard:
+		return "NO_SHARD"
+	case FullShard:
+		return "FULL_SHARD"
+	case ShardGradOp:
+		return "SHARD_GRAD_OP"
+	case HybridShard:
+		return "HYBRID_SHARD"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Prefetch enumerates FSDP's backward prefetch policies (Section IV-B).
+type Prefetch int
+
+// Prefetch policies.
+const (
+	PrefetchNone Prefetch = iota
+	BackwardPost
+	BackwardPre
+)
+
+// String names the policy as in the paper.
+func (p Prefetch) String() string {
+	switch p {
+	case PrefetchNone:
+		return "None"
+	case BackwardPost:
+		return "BACKWARD_POST"
+	case BackwardPre:
+		return "BACKWARD_PRE"
+	default:
+		return fmt.Sprintf("Prefetch(%d)", int(p))
+	}
+}
+
+// Plan is one distributed-training configuration.
+type Plan struct {
+	Strategy Strategy
+	// GroupSize is the sharding-group size for HybridShard (the paper's
+	// HYBRID_kGPUs); ignored otherwise.
+	GroupSize       int
+	Prefetch        Prefetch
+	LimitAllGathers bool
+	// DDPBucketBytes is DDP's gradient bucket size (PyTorch default
+	// 25 MiB); ignored for FSDP strategies.
+	DDPBucketBytes float64
+}
+
+// Name renders the paper's label for the plan (e.g. "HYBRID_2GPUs").
+func (p Plan) Name() string {
+	if p.Strategy == HybridShard {
+		if p.GroupSize == 1 {
+			return "HYBRID_1GPU"
+		}
+		return fmt.Sprintf("HYBRID_%dGPUs", p.GroupSize)
+	}
+	return p.Strategy.String()
+}
+
+// Validate checks the plan against a world size.
+func (p Plan) Validate(world int) error {
+	if world < 1 {
+		return fmt.Errorf("fsdp: world size %d", world)
+	}
+	switch p.Strategy {
+	case DDP:
+		if p.DDPBucketBytes <= 0 {
+			return fmt.Errorf("fsdp: DDP requires a positive bucket size")
+		}
+	case NoShard:
+	case FullShard, ShardGradOp:
+	case HybridShard:
+		if p.GroupSize < 1 {
+			return fmt.Errorf("fsdp: hybrid group size %d", p.GroupSize)
+		}
+		if world%p.GroupSize != 0 {
+			return fmt.Errorf("fsdp: world %d not divisible by group %d", world, p.GroupSize)
+		}
+	default:
+		return fmt.Errorf("fsdp: unknown strategy %v", p.Strategy)
+	}
+	return nil
+}
+
+// ShardRanks returns how many ranks each parameter is sharded across.
+func (p Plan) ShardRanks(world int) int {
+	switch p.Strategy {
+	case FullShard, ShardGradOp:
+		return world
+	case HybridShard:
+		return p.GroupSize
+	default:
+		return 1
+	}
+}
+
+// shardsParams reports whether forward needs per-unit all-gathers.
+func (p Plan) shardsParams(world int) bool {
+	return p.ShardRanks(world) > 1
+}
+
+// regathersInBackward reports whether parameters are re-gathered during
+// backward: FULL_SHARD and HYBRID (>1) reshard after forward;
+// SHARD_GRAD_OP keeps parameters resident.
+func (p Plan) regathersInBackward(world int) bool {
+	switch p.Strategy {
+	case FullShard:
+		return true
+	case HybridShard:
+		return p.GroupSize > 1
+	default:
+		return false
+	}
+}
+
+// DefaultDDP returns the Figure 3 DDP baseline configuration.
+func DefaultDDP() Plan {
+	return Plan{Strategy: DDP, DDPBucketBytes: 25 << 20, Prefetch: BackwardPost}
+}
+
+// BestPractice returns the configuration Section IV-E recommends for
+// FSDP strategies: BACKWARD_PRE prefetch with limit_all_gathers.
+func BestPractice(s Strategy, group int) Plan {
+	return Plan{
+		Strategy:        s,
+		GroupSize:       group,
+		Prefetch:        BackwardPre,
+		LimitAllGathers: true,
+		DDPBucketBytes:  25 << 20,
+	}
+}

@@ -1,0 +1,127 @@
+package geodata
+
+import "fmt"
+
+// Dataset is a labeled procedural dataset with disjoint train/test
+// splits. Labels are assigned round-robin (index i has class i mod K),
+// so every split is exactly class-balanced; instances are disambiguated
+// by an offset so the two splits never share an image.
+type Dataset struct {
+	Name       string
+	Gen        *SceneGen
+	TrainCount int
+	TestCount  int
+}
+
+// testOffset separates test instance indices from train indices.
+const testOffset = 1 << 20
+
+// Classes returns the class vocabulary size.
+func (d *Dataset) Classes() int { return d.Gen.Classes }
+
+// TrainSample renders training sample i into dst and returns its label.
+func (d *Dataset) TrainSample(i int, dst []float32) int {
+	if i < 0 || i >= d.TrainCount {
+		panic(fmt.Sprintf("geodata: train index %d out of range %d", i, d.TrainCount))
+	}
+	class := i % d.Gen.Classes
+	d.Gen.Image(class, i/d.Gen.Classes, dst)
+	return class
+}
+
+// TestSample renders test sample i into dst and returns its label.
+func (d *Dataset) TestSample(i int, dst []float32) int {
+	if i < 0 || i >= d.TestCount {
+		panic(fmt.Sprintf("geodata: test index %d out of range %d", i, d.TestCount))
+	}
+	class := i % d.Gen.Classes
+	d.Gen.Image(class, testOffset+i/d.Gen.Classes, dst)
+	return class
+}
+
+// TrainSampleWithMask is TrainSample plus the per-pixel segmentation
+// ground truth (see ImageWithMask).
+func (d *Dataset) TrainSampleWithMask(i int, dst []float32, mask []uint8) int {
+	if i < 0 || i >= d.TrainCount {
+		panic(fmt.Sprintf("geodata: train index %d out of range %d", i, d.TrainCount))
+	}
+	class := i % d.Gen.Classes
+	d.Gen.ImageWithMask(class, i/d.Gen.Classes, dst, mask)
+	return class
+}
+
+// TestSampleWithMask is TestSample plus segmentation ground truth.
+func (d *Dataset) TestSampleWithMask(i int, dst []float32, mask []uint8) int {
+	if i < 0 || i >= d.TestCount {
+		panic(fmt.Sprintf("geodata: test index %d out of range %d", i, d.TestCount))
+	}
+	class := i % d.Gen.Classes
+	d.Gen.ImageWithMask(class, testOffset+i/d.Gen.Classes, dst, mask)
+	return class
+}
+
+// TableIIRow records one row of the paper's Table II.
+type TableIIRow struct {
+	Name         string
+	TrainSamples int
+	TestSamples  int
+	Classes      int
+	PretrainOnly bool
+}
+
+// PaperTableII is Table II exactly as printed: the pretraining corpus
+// and the four image-classification datasets.
+var PaperTableII = []TableIIRow{
+	{Name: "MillionAID-pretrain", TrainSamples: 990848, Classes: 51, PretrainOnly: true},
+	{Name: "MillionAID", TrainSamples: 1000, TestSamples: 9000, Classes: 51},
+	{Name: "UCM", TrainSamples: 1050, TestSamples: 1050, Classes: 21},
+	{Name: "AID", TrainSamples: 2000, TestSamples: 8000, Classes: 30},
+	{Name: "NWPU", TrainSamples: 3150, TestSamples: 28350, Classes: 45},
+}
+
+// Suite is the full set of analog datasets used by the downstream
+// experiments, plus the pretraining stream.
+type Suite struct {
+	Pretrain *Dataset // labels ignored; TrainCount = corpus size
+	Probe    []*Dataset
+}
+
+// NewSuite builds scaled analogs of Table II. scale divides every
+// sample count (min one sample per class per split); size/channels set
+// the rendered image geometry. Class counts are never scaled — they are
+// part of task difficulty.
+//
+// Each dataset gets an independent generator seed, so UCM/AID/NWPU
+// classes are *different* archetypes than the pretraining corpus —
+// matching the paper's setup where only MillionAID distributions are
+// seen during pretraining.
+func NewSuite(scale, size, channels int, seed uint64) *Suite {
+	if scale < 1 {
+		scale = 1
+	}
+	div := func(n, classes int) int {
+		v := n / scale
+		if v < classes {
+			v = classes
+		}
+		return v - v%classes // keep splits exactly class-balanced
+	}
+	mkGen := func(classes int, s uint64) *SceneGen {
+		return NewSceneGen(classes, size, channels, seed^s)
+	}
+	// MillionAID pretrain and probe share one generator (same classes,
+	// same distribution) — the paper notes probe samples come from the
+	// pretraining distribution, which shapes its Figure 6 behaviour.
+	maid := mkGen(51, 0x1)
+	s := &Suite{
+		Pretrain: &Dataset{Name: "MillionAID-pretrain", Gen: maid,
+			TrainCount: div(990848, 51)},
+		Probe: []*Dataset{
+			{Name: "MillionAID", Gen: maid, TrainCount: div(1000, 51), TestCount: div(9000, 51)},
+			{Name: "UCM", Gen: mkGen(21, 0x2), TrainCount: div(1050, 21), TestCount: div(1050, 21)},
+			{Name: "AID", Gen: mkGen(30, 0x3), TrainCount: div(2000, 30), TestCount: div(8000, 30)},
+			{Name: "NWPU", Gen: mkGen(45, 0x4), TrainCount: div(3150, 45), TestCount: div(28350, 45)},
+		},
+	}
+	return s
+}

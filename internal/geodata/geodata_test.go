@@ -1,0 +1,229 @@
+package geodata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestImageDeterminism(t *testing.T) {
+	g := NewSceneGen(5, 16, 3, 42)
+	a := make([]float32, g.ImageLen())
+	b := make([]float32, g.ImageLen())
+	g.Image(2, 7, a)
+	g.Image(2, 7, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (class, idx) produced different images")
+		}
+	}
+}
+
+func TestImagesDifferAcrossSamplesAndClasses(t *testing.T) {
+	g := NewSceneGen(5, 16, 3, 42)
+	a := make([]float32, g.ImageLen())
+	b := make([]float32, g.ImageLen())
+	g.Image(2, 7, a)
+	g.Image(2, 8, b)
+	if same(a, b) {
+		t.Fatal("different sample indices produced identical images")
+	}
+	g.Image(3, 7, b)
+	if same(a, b) {
+		t.Fatal("different classes produced identical images")
+	}
+}
+
+func same(a, b []float32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestImageValuesFinite(t *testing.T) {
+	g := NewSceneGen(10, 24, 3, 1)
+	buf := make([]float32, g.ImageLen())
+	for c := 0; c < 10; c++ {
+		g.Image(c, 0, buf)
+		for _, v := range buf {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("class %d produced non-finite pixel", c)
+			}
+		}
+	}
+}
+
+func TestClassSeparabilityByPixelStats(t *testing.T) {
+	// Different classes must have distinguishable *texture* statistics;
+	// we check mean absolute pixel difference between class means is
+	// nonzero while within-class variation exists — i.e. the task is
+	// neither trivial nor degenerate.
+	g := NewSceneGen(4, 16, 1, 7)
+	const perClass = 6
+	means := make([]float64, 4)
+	for c := 0; c < 4; c++ {
+		buf := make([]float32, g.ImageLen())
+		var s float64
+		for i := 0; i < perClass; i++ {
+			g.Image(c, i, buf)
+			s += tensor.Mean(buf)
+		}
+		means[c] = s / perClass
+	}
+	distinct := false
+	for c := 1; c < 4; c++ {
+		if math.Abs(means[c]-means[0]) > 1e-3 {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all class mean intensities identical — generator degenerate")
+	}
+}
+
+func TestClassOutOfRangePanics(t *testing.T) {
+	g := NewSceneGen(3, 8, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g.Image(3, 0, make([]float32, g.ImageLen()))
+}
+
+func TestDatasetSplitsDisjointAndBalanced(t *testing.T) {
+	g := NewSceneGen(5, 8, 1, 3)
+	d := &Dataset{Name: "t", Gen: g, TrainCount: 25, TestCount: 10}
+	buf := make([]float32, g.ImageLen())
+	counts := make([]int, 5)
+	for i := 0; i < d.TrainCount; i++ {
+		counts[d.TrainSample(i, buf)]++
+	}
+	for c, n := range counts {
+		if n != 5 {
+			t.Fatalf("class %d has %d train samples, want 5", c, n)
+		}
+	}
+	// Train sample 0 and test sample 0 share class 0 but must be
+	// different images (disjoint instance ranges).
+	a := make([]float32, g.ImageLen())
+	b := make([]float32, g.ImageLen())
+	la := d.TrainSample(0, a)
+	lb := d.TestSample(0, b)
+	if la != lb {
+		t.Fatalf("labels differ: %d vs %d", la, lb)
+	}
+	if same(a, b) {
+		t.Fatal("train and test splits share an image")
+	}
+}
+
+func TestDatasetIndexValidation(t *testing.T) {
+	g := NewSceneGen(2, 8, 1, 3)
+	d := &Dataset{Name: "t", Gen: g, TrainCount: 4, TestCount: 2}
+	buf := make([]float32, g.ImageLen())
+	for _, fn := range []func(){
+		func() { d.TrainSample(4, buf) },
+		func() { d.TrainSample(-1, buf) },
+		func() { d.TestSample(2, buf) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for out-of-range index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPaperTableIIExactNumbers(t *testing.T) {
+	want := map[string][3]int{ // train, test, classes
+		"MillionAID-pretrain": {990848, 0, 51},
+		"MillionAID":          {1000, 9000, 51},
+		"UCM":                 {1050, 1050, 21},
+		"AID":                 {2000, 8000, 30},
+		"NWPU":                {3150, 28350, 45},
+	}
+	for _, row := range PaperTableII {
+		w, ok := want[row.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", row.Name)
+		}
+		if row.TrainSamples != w[0] || row.TestSamples != w[1] || row.Classes != w[2] {
+			t.Fatalf("row %q = %+v, want %v", row.Name, row, w)
+		}
+	}
+}
+
+func TestNewSuiteScaling(t *testing.T) {
+	s := NewSuite(100, 8, 3, 1)
+	if s.Pretrain.TrainCount < 51 {
+		t.Fatalf("pretrain corpus too small: %d", s.Pretrain.TrainCount)
+	}
+	if s.Pretrain.TrainCount%51 != 0 {
+		t.Fatal("pretrain corpus not class-balanced")
+	}
+	names := map[string]bool{}
+	for _, d := range s.Probe {
+		names[d.Name] = true
+		if d.TrainCount%d.Classes() != 0 || d.TestCount%d.Classes() != 0 {
+			t.Fatalf("%s splits not class-balanced: %d/%d over %d classes",
+				d.Name, d.TrainCount, d.TestCount, d.Classes())
+		}
+		if d.TrainCount < d.Classes() {
+			t.Fatalf("%s has fewer train samples than classes", d.Name)
+		}
+	}
+	for _, n := range []string{"MillionAID", "UCM", "AID", "NWPU"} {
+		if !names[n] {
+			t.Fatalf("suite missing dataset %s", n)
+		}
+	}
+}
+
+func TestNewSuiteSplitRatiosAtModerateScale(t *testing.T) {
+	// At scale 10 the per-class floor does not bind, so the Table II
+	// test/train ratios must be preserved: AID ≈4, NWPU ≈9, UCM = 1.
+	s := NewSuite(10, 8, 3, 1)
+	byName := map[string]*Dataset{}
+	for _, d := range s.Probe {
+		byName[d.Name] = d
+	}
+	if r := float64(byName["AID"].TestCount) / float64(byName["AID"].TrainCount); math.Abs(r-4) > 0.5 {
+		t.Fatalf("AID test/train ratio %v, want ≈4", r)
+	}
+	if r := float64(byName["NWPU"].TestCount) / float64(byName["NWPU"].TrainCount); math.Abs(r-9) > 1 {
+		t.Fatalf("NWPU test/train ratio %v, want ≈9", r)
+	}
+	if r := float64(byName["UCM"].TestCount) / float64(byName["UCM"].TrainCount); math.Abs(r-1) > 0.2 {
+		t.Fatalf("UCM test/train ratio %v, want 1", r)
+	}
+}
+
+func TestSuiteMillionAIDSharesGenerator(t *testing.T) {
+	// Probe MillionAID must draw from the pretraining distribution
+	// (same generator), per the paper's observation about Fig 6.
+	s := NewSuite(100, 8, 3, 1)
+	if s.Probe[0].Name != "MillionAID" || s.Probe[0].Gen != s.Pretrain.Gen {
+		t.Fatal("MillionAID probe generator differs from pretraining generator")
+	}
+	// And UCM must not share it.
+	if s.Probe[1].Gen == s.Pretrain.Gen {
+		t.Fatal("UCM shares pretraining generator")
+	}
+}
+
+func BenchmarkSceneImage32(b *testing.B) {
+	g := NewSceneGen(51, 32, 3, 1)
+	buf := make([]float32, g.ImageLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Image(i%51, i, buf)
+	}
+}

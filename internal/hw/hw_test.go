@@ -1,0 +1,101 @@
+package hw
+
+import "testing"
+
+func TestFrontierPublishedConstants(t *testing.T) {
+	m := Frontier()
+	// Section III-B of the paper: 9408 nodes, 8 GCDs ("GPUs") per node,
+	// 64 GB HBM each, IF 50 GB/s, Slingshot 100 GB/s.
+	if m.MaxNodes != 9408 {
+		t.Errorf("MaxNodes=%d", m.MaxNodes)
+	}
+	if m.GPUsPerNode != 8 {
+		t.Errorf("GPUsPerNode=%d", m.GPUsPerNode)
+	}
+	if m.HBMBytesPerGPU != 64e9 {
+		t.Errorf("HBM=%v", m.HBMBytesPerGPU)
+	}
+	if m.IntraNodeBW != 50e9 {
+		t.Errorf("IntraNodeBW=%v", m.IntraNodeBW)
+	}
+	if m.InterNodeBWPerNode != 100e9 {
+		t.Errorf("InterNodeBW=%v", m.InterNodeBWPerNode)
+	}
+}
+
+func TestEffectiveFLOPS(t *testing.T) {
+	m := Frontier()
+	eff := m.EffectiveFLOPS()
+	if eff <= 0 || eff >= m.PeakMatrixFLOPS {
+		t.Fatalf("effective FLOPS %v outside (0, peak)", eff)
+	}
+	if m.MFU <= 0 || m.MFU > 1 {
+		t.Fatalf("MFU %v", m.MFU)
+	}
+}
+
+func TestTotalGPUs(t *testing.T) {
+	m := Frontier()
+	if m.TotalGPUs(64) != 512 {
+		t.Fatalf("TotalGPUs(64)=%d", m.TotalGPUs(64))
+	}
+}
+
+func TestInterBWPerGPU(t *testing.T) {
+	m := Frontier()
+	if got := m.InterBWPerGPU(); got != 100e9/8 {
+		t.Fatalf("InterBWPerGPU=%v", got)
+	}
+}
+
+func TestGroupBandwidthTiers(t *testing.T) {
+	m := Frontier()
+	// Pair of GCDs in one package → fastest tier.
+	bw, lat, _ := m.GroupBandwidth(2, 8, 1)
+	if bw != m.PairBW || lat != m.IntraHopLatency {
+		t.Fatalf("pair tier: bw=%v lat=%v", bw, lat)
+	}
+	// Group of 8 within node → Infinity Fabric tier.
+	bw, _, _ = m.GroupBandwidth(8, 8, 1)
+	if bw != m.IntraNodeBW {
+		t.Fatalf("node tier: bw=%v", bw)
+	}
+	// Spanning group with 8 concurrent spanning groups per node → NIC/8.
+	bw, lat, _ = m.GroupBandwidth(64, 8, 8)
+	if bw != m.InterNodeBWPerNode/8 {
+		t.Fatalf("spanning tier: bw=%v", bw)
+	}
+	if lat != m.InterHopLatency {
+		t.Fatalf("spanning lat=%v", lat)
+	}
+	// Single spanning group is still capped at the intra tier.
+	bw, _, _ = m.GroupBandwidth(64, 8, 1)
+	if bw > m.IntraNodeBW {
+		t.Fatalf("spanning bw %v exceeds intra ceiling", bw)
+	}
+	// Degenerate group of one.
+	_, lat, _ = m.GroupBandwidth(1, 8, 1)
+	if lat != 0 {
+		t.Fatalf("singleton group lat=%v", lat)
+	}
+}
+
+func TestBandwidthTierOrdering(t *testing.T) {
+	m := Frontier()
+	pair, _, _ := m.GroupBandwidth(2, 8, 1)
+	intra, _, _ := m.GroupBandwidth(8, 8, 1)
+	inter, _, _ := m.GroupBandwidth(16, 8, 8)
+	if !(pair > intra && intra > inter) {
+		t.Fatalf("tier ordering violated: %v %v %v", pair, intra, inter)
+	}
+}
+
+func TestPowerModelRange(t *testing.T) {
+	m := Frontier()
+	if !(m.IdlePower > 0 && m.IdlePower < m.MaxPower) {
+		t.Fatalf("power model: idle=%v max=%v", m.IdlePower, m.MaxPower)
+	}
+	if m.SMContention < 0 || m.SMContention > 0.5 {
+		t.Fatalf("SMContention=%v implausible", m.SMContention)
+	}
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MultiHeadAttention implements standard scaled-dot-product multi-head
+// self-attention (the compute core of the ViT encoder, and the layer
+// whose FLOP profile internal/perfmodel mirrors for the Frontier
+// simulator).
+//
+// The layer owns its fused QKV projection and output projection and
+// caches the per-head attention probabilities for the backward pass.
+type MultiHeadAttention struct {
+	Width, Heads, HeadDim int
+
+	QKV *Linear // width → 3·width
+	Out *Linear // width → width
+
+	batch, tokens int
+
+	// [b·h][t][d] contiguous rearrangements of the fused QKV output.
+	q, k, v []float32
+	// cached softmax probabilities, one (T×T) matrix per (b,h).
+	probs []float32
+	// scratch for forward output and backward intermediates
+	attnOut            []float32
+	dqkv               []float32
+	dq, dk, dv, dp, ds []float32
+	do_                []float32
+}
+
+// NewMultiHeadAttention builds the layer; width must be divisible by
+// heads.
+func NewMultiHeadAttention(name string, width, heads int, r *rng.RNG) *MultiHeadAttention {
+	if width%heads != 0 {
+		panic(fmt.Sprintf("nn: width %d not divisible by heads %d", width, heads))
+	}
+	return &MultiHeadAttention{
+		Width:   width,
+		Heads:   heads,
+		HeadDim: width / heads,
+		QKV:     NewLinear(name+".qkv", width, 3*width, r),
+		Out:     NewLinear(name+".out", width, width, r),
+	}
+}
+
+// Params returns the projection parameters.
+func (a *MultiHeadAttention) Params() []*Param {
+	return append(a.QKV.Params(), a.Out.Params()...)
+}
+
+// Forward runs self-attention over batch sequences of tokens tokens
+// each; x has shape (batch·tokens × width).
+func (a *MultiHeadAttention) Forward(x []float32, batch, tokens int) []float32 {
+	w, h, d := a.Width, a.Heads, a.HeadDim
+	checkRows(len(x), batch*tokens, w, "MultiHeadAttention.Forward")
+	a.batch, a.tokens = batch, tokens
+	qkv := a.QKV.Forward(x, batch*tokens)
+
+	bh := batch * h
+	a.q = grow(a.q, bh*tokens*d)
+	a.k = grow(a.k, bh*tokens*d)
+	a.v = grow(a.v, bh*tokens*d)
+	a.probs = grow(a.probs, bh*tokens*tokens)
+	a.attnOut = grow(a.attnOut, batch*tokens*w)
+
+	// Rearrange fused (B·T × 3W) into per-(b,h) contiguous (T × D).
+	parallel.ForGrain(bh, 1, func(i int) {
+		b, hh := i/h, i%h
+		for t := 0; t < tokens; t++ {
+			src := qkv[(b*tokens+t)*3*w:]
+			dst := i*tokens*d + t*d
+			copy(a.q[dst:dst+d], src[hh*d:hh*d+d])
+			copy(a.k[dst:dst+d], src[w+hh*d:w+hh*d+d])
+			copy(a.v[dst:dst+d], src[2*w+hh*d:2*w+hh*d+d])
+		}
+	})
+
+	scale := float32(1 / math.Sqrt(float64(d)))
+	parallel.ForGrain(bh, 1, func(i int) {
+		q := a.q[i*tokens*d : (i+1)*tokens*d]
+		k := a.k[i*tokens*d : (i+1)*tokens*d]
+		v := a.v[i*tokens*d : (i+1)*tokens*d]
+		p := a.probs[i*tokens*tokens : (i+1)*tokens*tokens]
+		// S = scale·Q·Kᵀ, softmaxed in place into the probs cache.
+		tensor.MatMulTB(p, q, k, tokens, d, tokens, false)
+		for j := range p {
+			p[j] *= scale
+		}
+		tensor.Softmax(p, p, tokens, tokens)
+		// Per-head output O = P·V written back into (B·T × W) layout.
+		b, hh := i/h, i%h
+		for t := 0; t < tokens; t++ {
+			ot := a.attnOut[(b*tokens+t)*w+hh*d:]
+			pt := p[t*tokens : (t+1)*tokens]
+			for j := 0; j < d; j++ {
+				ot[j] = 0
+			}
+			for s := 0; s < tokens; s++ {
+				if ps := pt[s]; ps != 0 {
+					vs := v[s*d : (s+1)*d]
+					for j := 0; j < d; j++ {
+						ot[j] += ps * vs[j]
+					}
+				}
+			}
+		}
+	})
+
+	return a.Out.Forward(a.attnOut, batch*tokens)
+}
+
+// Backward propagates through the attention layer, accumulating
+// projection gradients and returning dL/dx.
+func (a *MultiHeadAttention) Backward(dy []float32) []float32 {
+	w, h, d := a.Width, a.Heads, a.HeadDim
+	batch, tokens := a.batch, a.tokens
+	checkRows(len(dy), batch*tokens, w, "MultiHeadAttention.Backward")
+	dAttn := a.Out.Backward(dy) // (B·T × W)
+
+	bh := batch * h
+	a.do_ = grow(a.do_, bh*tokens*d)
+	a.dq = grow(a.dq, bh*tokens*d)
+	a.dk = grow(a.dk, bh*tokens*d)
+	a.dv = grow(a.dv, bh*tokens*d)
+	a.dp = grow(a.dp, bh*tokens*tokens)
+	a.ds = grow(a.ds, bh*tokens*tokens)
+	a.dqkv = grow(a.dqkv, batch*tokens*3*w)
+
+	// Rearrange upstream gradient into per-(b,h) (T × D).
+	parallel.ForGrain(bh, 1, func(i int) {
+		b, hh := i/h, i%h
+		for t := 0; t < tokens; t++ {
+			src := dAttn[(b*tokens+t)*w+hh*d:]
+			copy(a.do_[i*tokens*d+t*d:i*tokens*d+(t+1)*d], src[:d])
+		}
+	})
+
+	scale := float32(1 / math.Sqrt(float64(d)))
+	parallel.ForGrain(bh, 1, func(i int) {
+		q := a.q[i*tokens*d : (i+1)*tokens*d]
+		k := a.k[i*tokens*d : (i+1)*tokens*d]
+		v := a.v[i*tokens*d : (i+1)*tokens*d]
+		p := a.probs[i*tokens*tokens : (i+1)*tokens*tokens]
+		do := a.do_[i*tokens*d : (i+1)*tokens*d]
+		dp := a.dp[i*tokens*tokens : (i+1)*tokens*tokens]
+		ds := a.ds[i*tokens*tokens : (i+1)*tokens*tokens]
+		dq := a.dq[i*tokens*d : (i+1)*tokens*d]
+		dk := a.dk[i*tokens*d : (i+1)*tokens*d]
+		dv := a.dv[i*tokens*d : (i+1)*tokens*d]
+
+		// dV = Pᵀ·dO ; dP = dO·Vᵀ
+		tensor.MatMulTA(dv, p, do, tokens, tokens, d, false)
+		tensor.MatMulTB(dp, do, v, tokens, d, tokens, false)
+		// dS = softmax backward, then fold in the 1/√d scale.
+		tensor.SoftmaxBackward(ds, p, dp, tokens, tokens)
+		for j := range ds {
+			ds[j] *= scale
+		}
+		// dQ = dS·K ; dK = dSᵀ·Q
+		tensor.MatMul(dq, ds, k, tokens, tokens, d, false)
+		tensor.MatMulTA(dk, ds, q, tokens, tokens, d, false)
+	})
+
+	// Reassemble into the fused (B·T × 3W) gradient.
+	parallel.ForGrain(bh, 1, func(i int) {
+		b, hh := i/h, i%h
+		for t := 0; t < tokens; t++ {
+			dst := a.dqkv[(b*tokens+t)*3*w:]
+			src := i*tokens*d + t*d
+			copy(dst[hh*d:hh*d+d], a.dq[src:src+d])
+			copy(dst[w+hh*d:w+hh*d+d], a.dk[src:src+d])
+			copy(dst[2*w+hh*d:2*w+hh*d+d], a.dv[src:src+d])
+		}
+	})
+
+	return a.QKV.Backward(a.dqkv)
+}

@@ -1,0 +1,122 @@
+// Package nn implements the neural-network layers used to build the
+// ViT encoder and the MAE decoder: Linear, LayerNorm, GELU, multi-head
+// self-attention, the transformer block, patch embedding with fixed
+// 2-D sin-cos positional encodings, and the two losses the paper trains
+// with (per-patch normalized MSE for MAE pretraining, cross-entropy for
+// linear probing).
+//
+// Every layer implements an explicit Forward/Backward pair with cached
+// activations (the "modular backprop" style): Forward consumes a
+// (rows × features) matrix of row-major float32 and returns the layer
+// output; Backward consumes the upstream gradient, accumulates
+// parameter gradients, and returns the input gradient. Layers reuse
+// internal buffers across steps, so a layer instance must not be used
+// from multiple goroutines concurrently — parallelism lives *inside*
+// the kernels (see internal/tensor and internal/parallel).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator. Optimizers
+// consume pairs of (Value, Grad) slices.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// NoWeightDecay marks parameters (biases, LayerNorm gains) that
+	// AdamW must exclude from decoupled weight decay, following the
+	// MAE recipe.
+	NoWeightDecay bool
+}
+
+// NewParam allocates a parameter and matching zero gradient.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+	}
+}
+
+// NumEl returns the parameter's element count.
+func (p *Param) NumEl() int { return p.Value.NumEl() }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Module is anything owning trainable parameters. Concrete layers also
+// expose shape-specific Forward/Backward methods; those cannot live on
+// the interface because signatures differ per layer.
+type Module interface {
+	Params() []*Param
+}
+
+// CollectParams flattens the parameters of several modules.
+func CollectParams(mods ...Module) []*Param {
+	var ps []*Param
+	for _, m := range mods {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}
+
+// CountParams sums the element counts over params.
+func CountParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.NumEl()
+	}
+	return n
+}
+
+// ZeroGrads clears every gradient in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// GradL2Norm returns the global L2 norm across all gradients, as used
+// for gradient clipping.
+func GradL2Norm(ps []*Param) float64 {
+	var s float64
+	for _, p := range ps {
+		for _, v := range p.Grad.Data {
+			s += float64(v) * float64(v)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGradNorm scales all gradients so the global norm does not exceed
+// maxNorm; returns the pre-clip norm.
+func ClipGradNorm(ps []*Param, maxNorm float64) float64 {
+	norm := GradL2Norm(ps)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range ps {
+			tensor.Scale(p.Grad.Data, p.Grad.Data, scale)
+		}
+	}
+	return norm
+}
+
+// grow returns buf resized to n elements, reusing capacity when
+// possible. Contents are unspecified.
+func grow(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
+}
+
+func checkRows(n, rows, cols int, layer string) {
+	if rows*cols != n {
+		panic(fmt.Sprintf("nn: %s got %d values for %d rows × %d cols", layer, n, rows, cols))
+	}
+}

@@ -1,0 +1,222 @@
+// Package opt implements the optimizers and learning-rate schedules the
+// paper trains with: AdamW (MAE pretraining, base LR 1.5e-4, weight
+// decay 0.05), LARS (linear probing, base LR 0.1, no weight decay), and
+// SGD with momentum as a baseline, plus cosine decay with linear
+// warmup.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update at the given learning rate.
+	Step(lr float64)
+	// Params returns the parameter set being optimized.
+	Params() []*nn.Param
+}
+
+// AdamW is Adam with decoupled weight decay (Loshchilov & Hutter), the
+// pretraining optimizer of the paper. Parameters flagged NoWeightDecay
+// (biases, LayerNorm affine, mask token) are excluded from decay,
+// following the MAE recipe.
+type AdamW struct {
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	params []*nn.Param
+	m, v   [][]float32
+	t      int
+}
+
+// NewAdamW constructs AdamW with the paper's hyper-parameters
+// (β₁=0.9, β₂=0.95 as in MAE, ε=1e-8) and the given weight decay.
+func NewAdamW(params []*nn.Param, weightDecay float64) *AdamW {
+	a := &AdamW{
+		Beta1: 0.9, Beta2: 0.95, Eps: 1e-8,
+		WeightDecay: weightDecay,
+		params:      params,
+	}
+	for _, p := range params {
+		a.m = append(a.m, make([]float32, p.NumEl()))
+		a.v = append(a.v, make([]float32, p.NumEl()))
+	}
+	return a
+}
+
+// Params returns the optimized parameters.
+func (a *AdamW) Params() []*nn.Param { return a.params }
+
+// StepCount returns how many updates have been applied.
+func (a *AdamW) StepCount() int { return a.t }
+
+// Step applies one AdamW update.
+func (a *AdamW) Step(lr float64) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		w := p.Value.Data
+		g := p.Grad.Data
+		decay := float32(lr * a.WeightDecay)
+		if p.NoWeightDecay {
+			decay = 0
+		}
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i := range w {
+			gi := g[i]
+			m[i] = b1*m[i] + (1-b1)*gi
+			v[i] = b2*v[i] + (1-b2)*gi*gi
+			mhat := float64(m[i]) / bc1
+			vhat := float64(v[i]) / bc2
+			w[i] -= float32(lr*mhat/(math.Sqrt(vhat)+a.Eps)) + decay*w[i]
+		}
+	}
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	Momentum    float64
+	WeightDecay float64
+
+	params []*nn.Param
+	vel    [][]float32
+}
+
+// NewSGD constructs SGD with the given momentum and L2 weight decay.
+func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
+	s := &SGD{Momentum: momentum, WeightDecay: weightDecay, params: params}
+	for _, p := range params {
+		s.vel = append(s.vel, make([]float32, p.NumEl()))
+	}
+	return s
+}
+
+// Params returns the optimized parameters.
+func (s *SGD) Params() []*nn.Param { return s.params }
+
+// Step applies one SGD update.
+func (s *SGD) Step(lr float64) {
+	mu := float32(s.Momentum)
+	for pi, p := range s.params {
+		vel := s.vel[pi]
+		w := p.Value.Data
+		g := p.Grad.Data
+		wd := float32(s.WeightDecay)
+		if p.NoWeightDecay {
+			wd = 0
+		}
+		for i := range w {
+			grad := g[i] + wd*w[i]
+			vel[i] = mu*vel[i] + grad
+			w[i] -= float32(lr) * vel[i]
+		}
+	}
+}
+
+// LARS implements Layer-wise Adaptive Rate Scaling (You et al.), the
+// optimizer the paper uses for linear probing with large batches. Each
+// parameter tensor's update is rescaled by ‖w‖/‖g + λw‖ (the "trust
+// ratio") before the momentum step.
+type LARS struct {
+	Momentum    float64
+	WeightDecay float64
+	TrustCoef   float64
+
+	params []*nn.Param
+	vel    [][]float32
+}
+
+// NewLARS constructs LARS with the probing configuration (momentum 0.9,
+// trust coefficient 0.001, and no weight decay as in the paper).
+func NewLARS(params []*nn.Param, weightDecay float64) *LARS {
+	l := &LARS{Momentum: 0.9, WeightDecay: weightDecay, TrustCoef: 0.001, params: params}
+	for _, p := range params {
+		l.vel = append(l.vel, make([]float32, p.NumEl()))
+	}
+	return l
+}
+
+// Params returns the optimized parameters.
+func (l *LARS) Params() []*nn.Param { return l.params }
+
+// Step applies one LARS update.
+func (l *LARS) Step(lr float64) {
+	for pi, p := range l.params {
+		w := p.Value.Data
+		g := p.Grad.Data
+		wd := l.WeightDecay
+		if p.NoWeightDecay {
+			wd = 0
+		}
+		wNorm := tensor.L2Norm(w)
+		// Effective gradient includes decay for the norm computation.
+		var gNorm float64
+		for i := range g {
+			eg := float64(g[i]) + wd*float64(w[i])
+			gNorm += eg * eg
+		}
+		gNorm = math.Sqrt(gNorm)
+		trust := 1.0
+		if wNorm > 0 && gNorm > 0 {
+			trust = l.TrustCoef * wNorm / gNorm
+		}
+		localLR := float32(lr * trust)
+		mu := float32(l.Momentum)
+		vel := l.vel[pi]
+		for i := range w {
+			eg := g[i] + float32(wd)*w[i]
+			vel[i] = mu*vel[i] + localLR*eg
+			w[i] -= vel[i]
+		}
+	}
+}
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// CosineSchedule is linear warmup to Base over WarmupSteps, then cosine
+// decay to MinLR at TotalSteps — the schedule used for both pretraining
+// and probing in the MAE recipe.
+type CosineSchedule struct {
+	Base        float64
+	MinLR       float64
+	WarmupSteps int
+	TotalSteps  int
+}
+
+// LR returns the learning rate for the given zero-based step.
+func (c CosineSchedule) LR(step int) float64 {
+	if c.WarmupSteps > 0 && step < c.WarmupSteps {
+		return c.Base * float64(step+1) / float64(c.WarmupSteps)
+	}
+	if step >= c.TotalSteps {
+		return c.MinLR
+	}
+	denom := float64(c.TotalSteps - c.WarmupSteps)
+	if denom <= 0 {
+		return c.MinLR
+	}
+	progress := float64(step-c.WarmupSteps) / denom
+	return c.MinLR + 0.5*(c.Base-c.MinLR)*(1+math.Cos(math.Pi*progress))
+}
+
+// ConstSchedule returns a fixed learning rate.
+type ConstSchedule float64
+
+// LR returns the constant rate.
+func (c ConstSchedule) LR(int) float64 { return float64(c) }
+
+// ScaledLR applies the linear batch-size scaling rule the paper uses:
+// lr = baseLR × globalBatch / 256.
+func ScaledLR(baseLR float64, globalBatch int) float64 {
+	return baseLR * float64(globalBatch) / 256.0
+}

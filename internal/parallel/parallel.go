@@ -1,0 +1,168 @@
+// Package parallel provides the shared-memory parallel execution
+// substrate used by the pure-Go training stack. It offers a persistent
+// worker pool, a deterministic parallel-for over index ranges, and
+// grain-size control so small problems stay on one goroutine.
+//
+// All heavy numeric kernels in internal/tensor route through this
+// package, which keeps goroutine fan-out bounded by GOMAXPROCS and
+// amortizes goroutine start-up across an entire training run.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MinGrain is the default smallest amount of work (loop iterations)
+// worth shipping to another goroutine. Callers can override per call.
+const MinGrain = 1024
+
+// maxProcs returns the degree of parallelism to use.
+func maxProcs() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// For runs body(i) for every i in [0, n) using up to GOMAXPROCS
+// goroutines. The split is contiguous and deterministic: worker w
+// receives the half-open range [w*n/p, (w+1)*n/p). For small n the body
+// runs inline on the calling goroutine.
+func For(n int, body func(i int)) {
+	ForGrain(n, MinGrain, body)
+}
+
+// ForGrain is For with an explicit grain size: if n < grain the loop
+// runs serially; otherwise at most n/grain (capped at GOMAXPROCS)
+// workers are used.
+func ForGrain(n, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p := workersFor(n, grain)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo, hi := Split(n, p, w)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Range runs body(lo, hi) on contiguous sub-ranges of [0, n) in
+// parallel. This is the preferred form for numeric kernels since the
+// body can iterate locally without per-index closure overhead.
+func Range(n int, body func(lo, hi int)) {
+	RangeGrain(n, MinGrain, body)
+}
+
+// RangeGrain is Range with an explicit grain size.
+func RangeGrain(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := workersFor(n, grain)
+	if p == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo, hi := Split(n, p, w)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Split returns the half-open range [lo, hi) assigned to worker w when
+// n items are divided evenly across p workers. The first n%p workers
+// receive one extra item, so the union of all ranges is exactly [0, n)
+// and ranges never overlap.
+func Split(n, p, w int) (lo, hi int) {
+	q, r := n/p, n%p
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// workersFor picks the worker count for n items at the given grain.
+func workersFor(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	p := maxProcs()
+	if byWork := n / grain; byWork < p {
+		p = byWork
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Do runs the given closures concurrently and waits for all of them.
+// It is a convenience for forking a small, fixed set of tasks (for
+// example, computing gradient statistics while the optimizer step for
+// another layer proceeds).
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// Counter is a lock-free monotonically increasing counter shared across
+// workers; used by data loaders to hand out sample indices.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Next returns the next index, starting from 0.
+func (c *Counter) Next() int64 { return c.v.Add(1) - 1 }
+
+// Load returns the number of indices handed out so far.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitCoversRangeExactly(t *testing.T) {
+	cases := []struct{ n, p int }{
+		{0, 1}, {1, 1}, {1, 4}, {7, 3}, {8, 8}, {100, 7}, {1024, 16}, {3, 5},
+	}
+	for _, c := range cases {
+		covered := make([]bool, c.n)
+		prevHi := 0
+		for w := 0; w < c.p; w++ {
+			lo, hi := Split(c.n, c.p, w)
+			if lo != prevHi {
+				t.Fatalf("n=%d p=%d w=%d: lo=%d, want contiguous from %d", c.n, c.p, w, lo, prevHi)
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d p=%d: index %d covered twice", c.n, c.p, i)
+				}
+				covered[i] = true
+			}
+			prevHi = hi
+		}
+		if prevHi != c.n {
+			t.Fatalf("n=%d p=%d: covered up to %d", c.n, c.p, prevHi)
+		}
+	}
+}
+
+func TestSplitPropertyPartition(t *testing.T) {
+	// Property: for any n, p >= 1, the p ranges partition [0, n).
+	f := func(n uint16, p uint8) bool {
+		nn := int(n % 5000)
+		pp := int(p%64) + 1
+		total := 0
+		prevHi := 0
+		for w := 0; w < pp; w++ {
+			lo, hi := Split(nn, pp, w)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		return total == nn && prevHi == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBalance(t *testing.T) {
+	// No worker's range may exceed any other's by more than one item.
+	n, p := 1000, 7
+	minSz, maxSz := n, 0
+	for w := 0; w < p; w++ {
+		lo, hi := Split(n, p, w)
+		sz := hi - lo
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("imbalance: min=%d max=%d", minSz, maxSz)
+	}
+}
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	const n = 10000
+	var hits [n]atomic.Int32
+	ForGrain(n, 16, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(0, func(int) { ran = true })
+	For(-5, func(int) { ran = true })
+	if ran {
+		t.Fatal("body ran for non-positive n")
+	}
+}
+
+func TestRangeCoversAll(t *testing.T) {
+	const n = 4097
+	var sum atomic.Int64
+	RangeGrain(n, 8, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum=%d want %d", sum.Load(), want)
+	}
+}
+
+func TestRangeSerialSmall(t *testing.T) {
+	// Below the grain the body must be invoked exactly once, covering all.
+	calls := 0
+	RangeGrain(100, 1024, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("expected single full range, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d want 1", calls)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatal("not all closures ran")
+	}
+	Do() // must not panic
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single closure did not run")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	seen := make([]atomic.Int32, workers*per)
+	ForGrain(workers*per, 1, func(int) {
+		seen[c.Next()].Add(1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("counter value %d handed out %d times", i, seen[i].Load())
+		}
+	}
+	if c.Load() != workers*per {
+		t.Fatalf("Load=%d", c.Load())
+	}
+	c.Reset()
+	if c.Next() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func BenchmarkForGrain(b *testing.B) {
+	data := make([]float32, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Range(len(data), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}

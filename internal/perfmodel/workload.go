@@ -1,0 +1,250 @@
+// Package perfmodel quantifies the training workloads of the paper:
+// per-block FLOPs and parameter bytes for the ViT variants (and the MAE
+// encoder+decoder composite), activation memory under vanilla and
+// checkpointed execution, and the data-loading model behind Figure 1's
+// IO curve. The FSDP simulator consumes these numbers to build its
+// per-step task graphs.
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/vit"
+)
+
+// Precision captures the numeric formats of a training run. The paper
+// trains with PyTorch AMP-style mixed precision on MI250X: bf16 math
+// and communication with fp32 master weights and Adam state.
+type Precision struct {
+	// ComputeBytes is the activation/parameter element size used in
+	// kernels and collectives.
+	ComputeBytes float64
+	// StateBytesPerParam is the resident bytes per parameter for master
+	// weights, gradients and optimizer state (sharded by FSDP).
+	// fp32 master (4) + fp32 Adam m,v (8) + bf16 working copy (2) = 14.
+	StateBytesPerParam float64
+}
+
+// MixedPrecision is the default training precision.
+func MixedPrecision() Precision {
+	return Precision{ComputeBytes: 2, StateBytesPerParam: 14}
+}
+
+// Workload describes one rank's per-step work.
+type Workload struct {
+	Model      vit.Config
+	LocalBatch int
+	// EncoderTokens is the sequence length seen by encoder blocks
+	// (Model.Tokens() for supervised ViT; ~25% of it for MAE).
+	EncoderTokens int
+	// MAE adds the lightweight decoder (width 512 × 8 blocks over the
+	// full token grid) to compute and communication.
+	MAE bool
+	// ActCheckpoint enables activation checkpointing: activations
+	// shrink to block boundaries, backward recomputes forward (+1×
+	// forward FLOPs).
+	ActCheckpoint bool
+	Prec          Precision
+}
+
+// ViTWorkload is the plain supervised-ViT profile used in Sections
+// IV-B/C/D ("the ViT part of the MAE workload is the most
+// compute-demanding part").
+func ViTWorkload(cfg vit.Config, localBatch int) Workload {
+	return Workload{
+		Model:         cfg,
+		LocalBatch:    localBatch,
+		EncoderTokens: cfg.Tokens(),
+		Prec:          MixedPrecision(),
+	}
+}
+
+// MAEWorkload is the Figure 1 profile: encoder over visible tokens
+// only, plus the 512×8 decoder over the full grid.
+func MAEWorkload(cfg vit.Config, localBatch int, maskRatio float64) Workload {
+	vis := int(float64(cfg.Tokens()) * (1 - maskRatio))
+	if vis < 1 {
+		vis = 1
+	}
+	return Workload{
+		Model:         cfg,
+		LocalBatch:    localBatch,
+		EncoderTokens: vis,
+		MAE:           true,
+		Prec:          MixedPrecision(),
+	}
+}
+
+// Decoder constants per the paper/MAE defaults.
+const (
+	decWidth = 512
+	decDepth = 8
+)
+
+// Validate reports configuration errors.
+func (w Workload) Validate() error {
+	if err := w.Model.Validate(); err != nil {
+		return err
+	}
+	if w.LocalBatch <= 0 {
+		return fmt.Errorf("perfmodel: non-positive local batch")
+	}
+	if w.EncoderTokens <= 0 {
+		return fmt.Errorf("perfmodel: non-positive token count")
+	}
+	if w.Prec.ComputeBytes <= 0 || w.Prec.StateBytesPerParam <= 0 {
+		return fmt.Errorf("perfmodel: precision not set (use MixedPrecision)")
+	}
+	return nil
+}
+
+// blockFLOPs returns forward FLOPs for one transformer block over the
+// whole local batch at the given width/MLP/tokens:
+//
+//	2·B·T·(4W² + 2WM) GEMM terms + 4·B·T²·W attention terms.
+func blockFLOPs(batch, tokens, width, mlp int) float64 {
+	b := float64(batch)
+	t := float64(tokens)
+	wd := float64(width)
+	m := float64(mlp)
+	return 2*b*t*(4*wd*wd+2*wd*m) + 4*b*t*t*wd
+}
+
+// EncoderBlockForwardFLOPs returns per-block forward FLOPs for the
+// encoder over the local batch.
+func (w Workload) EncoderBlockForwardFLOPs() float64 {
+	return blockFLOPs(w.LocalBatch, w.EncoderTokens, w.Model.Width, w.Model.MLP)
+}
+
+// DecoderBlockForwardFLOPs returns per-block forward FLOPs for the MAE
+// decoder (zero when MAE is false). The decoder always sees the full
+// token grid.
+func (w Workload) DecoderBlockForwardFLOPs() float64 {
+	if !w.MAE {
+		return 0
+	}
+	return blockFLOPs(w.LocalBatch, w.Model.Tokens(), decWidth, 4*decWidth)
+}
+
+// EmbedForwardFLOPs returns the patch-projection forward FLOPs.
+func (w Workload) EmbedForwardFLOPs() float64 {
+	return 2 * float64(w.LocalBatch) * float64(w.EncoderTokens) *
+		float64(w.Model.PatchDim()) * float64(w.Model.Width)
+}
+
+// BackwardMultiplier converts forward FLOPs to backward FLOPs: 2×
+// normally, 3× under activation checkpointing (forward recompute).
+func (w Workload) BackwardMultiplier() float64 {
+	if w.ActCheckpoint {
+		return 3
+	}
+	return 2
+}
+
+// TotalForwardFLOPs sums embed + encoder + decoder forward FLOPs.
+func (w Workload) TotalForwardFLOPs() float64 {
+	total := w.EmbedForwardFLOPs() +
+		float64(w.Model.Depth)*w.EncoderBlockForwardFLOPs()
+	if w.MAE {
+		total += float64(decDepth) * w.DecoderBlockForwardFLOPs()
+	}
+	return total
+}
+
+// TotalStepFLOPs is forward + backward for one optimizer step.
+func (w Workload) TotalStepFLOPs() float64 {
+	return w.TotalForwardFLOPs() * (1 + w.BackwardMultiplier())
+}
+
+// Unit is one FSDP flat-parameter unit (≈ one transformer block): the
+// granularity at which FSDP shards, gathers and reduce-scatters.
+type Unit struct {
+	Name string
+	// Params is the unit's parameter count.
+	Params int64
+	// FwdFLOPs / BwdFLOPs over the local batch.
+	FwdFLOPs float64
+	BwdFLOPs float64
+}
+
+// Units returns the per-step FSDP unit list: the patch embedding
+// (folded with the final norm), encoder blocks, and — for MAE — decoder
+// blocks plus prediction head. This list is what the FSDP simulator
+// iterates to build task graphs.
+func (w Workload) Units() []Unit {
+	bwd := w.BackwardMultiplier()
+	var units []Unit
+	embedParams := int64(w.Model.PatchDim())*int64(w.Model.Width) + int64(w.Model.Width) + 2*int64(w.Model.Width)
+	units = append(units, Unit{
+		Name:     "embed",
+		Params:   embedParams,
+		FwdFLOPs: w.EmbedForwardFLOPs(),
+		BwdFLOPs: w.EmbedForwardFLOPs() * bwd,
+	})
+	bf := w.EncoderBlockForwardFLOPs()
+	bp := w.Model.BlockParams()
+	for i := 0; i < w.Model.Depth; i++ {
+		units = append(units, Unit{
+			Name:     fmt.Sprintf("enc%d", i),
+			Params:   bp,
+			FwdFLOPs: bf,
+			BwdFLOPs: bf * bwd,
+		})
+	}
+	if w.MAE {
+		df := w.DecoderBlockForwardFLOPs()
+		dcfg := vit.Config{Width: decWidth, MLP: 4 * decWidth}
+		dp := dcfg.BlockParams()
+		for i := 0; i < decDepth; i++ {
+			units = append(units, Unit{
+				Name:     fmt.Sprintf("dec%d", i),
+				Params:   dp,
+				FwdFLOPs: df,
+				BwdFLOPs: df * bwd,
+			})
+		}
+		// Decoder embed + prediction head, folded into one unit.
+		headParams := int64(w.Model.Width)*decWidth + decWidth +
+			int64(decWidth)*int64(w.Model.PatchDim()) + int64(w.Model.PatchDim())
+		headFLOPs := 2 * float64(w.LocalBatch) * float64(w.Model.Tokens()) *
+			float64(decWidth) * float64(w.Model.PatchDim())
+		units = append(units, Unit{
+			Name:     "dec_head",
+			Params:   headParams,
+			FwdFLOPs: headFLOPs,
+			BwdFLOPs: headFLOPs * bwd,
+		})
+	}
+	return units
+}
+
+// TotalParams sums the unit parameter counts.
+func (w Workload) TotalParams() int64 {
+	var n int64
+	for _, u := range w.Units() {
+		n += u.Params
+	}
+	return n
+}
+
+// ActivationBytes estimates per-GPU activation memory. Without
+// checkpointing the dominant terms are kAct buffers of (B·T·W) per
+// block plus the T² attention probabilities; with checkpointing only
+// block-boundary activations plus one block's working set remain.
+func (w Workload) ActivationBytes() float64 {
+	b := float64(w.LocalBatch)
+	t := float64(w.EncoderTokens)
+	wd := float64(w.Model.Width)
+	d := float64(w.Model.Depth)
+	h := float64(w.Model.Heads)
+	cb := w.Prec.ComputeBytes
+	const kAct = 8 // linear-term buffers retained per block for backward
+	if w.ActCheckpoint {
+		boundaries := b * t * wd * d * cb
+		working := b*t*(6*wd+float64(w.Model.MLP))*cb + b*h*t*t*cb
+		return boundaries + working
+	}
+	linear := b * t * wd * d * kAct * cb
+	attn := b * h * t * t * d * cb
+	return linear + attn
+}

@@ -1,0 +1,198 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	f := func(n uint16) bool {
+		nn := int(n%1000) + 1
+		v := r.Intn(nn)
+		return v >= 0 && v < nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(3)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("variance = %f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("len=%d want %d", len(p), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid permutation of %d: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermPropertyQuick(t *testing.T) {
+	r := New(13)
+	f := func(n uint8) bool {
+		nn := int(n % 64)
+		p := r.Perm(nn)
+		sum := 0
+		for _, v := range p {
+			sum += v
+		}
+		return sum == nn*(nn-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(21)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between sibling streams", same)
+	}
+}
+
+func TestFillUniform(t *testing.T) {
+	r := New(8)
+	buf := make([]float32, 10000)
+	r.FillUniform(buf, -2, 3)
+	for _, v := range buf {
+		if v < -2 || v >= 3 {
+			t.Fatalf("value %v outside [-2, 3)", v)
+		}
+	}
+}
+
+func TestFillNormalStd(t *testing.T) {
+	r := New(8)
+	buf := make([]float32, 50000)
+	r.FillNormal(buf, 1, 0.5)
+	var sum float64
+	for _, v := range buf {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(buf))
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("mean %f want ~1", mean)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat32(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat32()
+	}
+}

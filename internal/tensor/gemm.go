@@ -1,0 +1,192 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// gemmGrain is the minimum number of FLOPs worth of work per goroutine
+// when splitting a GEMM across workers; below it the kernel runs
+// serially. Expressed in output rows: rows × k × n multiply-adds.
+const gemmGrainFlops = 1 << 16
+
+// MatMul computes C = A·B (or C += A·B when acc is true) with
+// A of shape (m×k), B of shape (k×n) and C of shape (m×n), all
+// contiguous row-major. The kernel parallelizes over rows of C and
+// streams rows of B (the "axpy" formulation), which is the
+// cache-friendly ordering for row-major data.
+func MatMul(c, a, b []float32, m, k, n int, acc bool) {
+	checkGEMM(len(c), len(a), len(b), m*n, m*k, k*n, "MatMul")
+	grain := rowsGrain(k, n)
+	parallel.RangeGrain(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			if !acc {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			ai := a[i*k : i*k+k]
+			for kk, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b[kk*n : kk*n+n]
+				axpy(av, bk, ci)
+			}
+		}
+	})
+}
+
+// MatMulTB computes C = A·Bᵀ (or C += A·Bᵀ) with A (m×k), B (n×k),
+// C (m×n). Because both A and B are traversed along their contiguous k
+// axis this is a pure dot-product kernel.
+func MatMulTB(c, a, b []float32, m, k, n int, acc bool) {
+	checkGEMM(len(c), len(a), len(b), m*n, m*k, n*k, "MatMulTB")
+	grain := rowsGrain(k, n)
+	parallel.RangeGrain(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : i*k+k]
+			ci := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				s := dot(ai, bj)
+				if acc {
+					ci[j] += s
+				} else {
+					ci[j] = s
+				}
+			}
+		}
+	})
+}
+
+// MatMulTA computes C = Aᵀ·B (or C += Aᵀ·B) with A (k×m), B (k×n),
+// C (m×n). Each worker owns a contiguous row range of C, so no worker
+// ever writes another's rows; B's rows are re-streamed once per k step.
+func MatMulTA(c, a, b []float32, m, k, n int, acc bool) {
+	checkGEMM(len(c), len(a), len(b), m*n, k*m, k*n, "MatMulTA")
+	grain := rowsGrain(k, n)
+	parallel.RangeGrain(m, grain, func(lo, hi int) {
+		if !acc {
+			for i := lo; i < hi; i++ {
+				ci := c[i*n : i*n+n]
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+		}
+		for kk := 0; kk < k; kk++ {
+			ak := a[kk*m : kk*m+m]
+			bk := b[kk*n : kk*n+n]
+			for i := lo; i < hi; i++ {
+				if av := ak[i]; av != 0 {
+					axpy(av, bk, c[i*n:i*n+n])
+				}
+			}
+		}
+	})
+}
+
+// rowsGrain converts the per-row FLOP cost into a row-count grain.
+func rowsGrain(k, n int) int {
+	perRow := k * n
+	if perRow <= 0 {
+		return 1 << 30
+	}
+	g := gemmGrainFlops / perRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func checkGEMM(lc, la, lb, wc, wa, wb int, name string) {
+	if lc < wc || la < wa || lb < wb {
+		panic(fmt.Sprintf("tensor: %s buffer too small (c %d<%d, a %d<%d, b %d<%d)", name, lc, wc, la, wa, lb, wb))
+	}
+}
+
+// axpy computes y += alpha*x over equal-length slices. Unrolled by four
+// to expose instruction-level parallelism to the compiler.
+func axpy(alpha float32, x, y []float32) {
+	n := len(y)
+	_ = x[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// dot returns the inner product of equal-length slices, with four
+// independent accumulators to break the dependency chain.
+func dot(x, y []float32) float32 {
+	n := len(x)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Dot is the exported inner product over raw slices.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return dot(x, y)
+}
+
+// Axpy computes y += alpha*x (lengths must match).
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	axpy(alpha, x, y)
+}
+
+// MatMulNaive is the unblocked triple loop, kept as a correctness
+// reference and as the baseline for the blocking ablation benchmark.
+func MatMulNaive(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a[i*k+kk] * b[kk*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// MatMulT returns C = A·B as tensors; a convenience wrapper used by
+// tests and examples (the layers call the slice kernels directly).
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v × %v", a.Shape(), b.Shape()))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	MatMul(c.Data, a.Data, b.Data, m, k, n, false)
+	return c
+}

@@ -1,0 +1,218 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// Add computes dst = a + b elementwise over equal-length slices.
+func Add(dst, a, b []float32) {
+	checkLen3(dst, a, b)
+	parallel.Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] + b[i]
+		}
+	})
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b []float32) {
+	checkLen3(dst, a, b)
+	parallel.Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] - b[i]
+		}
+	})
+}
+
+// Mul computes dst = a * b elementwise (Hadamard product).
+func Mul(dst, a, b []float32) {
+	checkLen3(dst, a, b)
+	parallel.Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] * b[i]
+		}
+	})
+}
+
+// Scale computes dst = alpha * a elementwise (dst may alias a).
+func Scale(dst, a []float32, alpha float32) {
+	checkLen2(dst, a)
+	parallel.Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = alpha * a[i]
+		}
+	})
+}
+
+// AddInPlace computes dst += a elementwise.
+func AddInPlace(dst, a []float32) {
+	checkLen2(dst, a)
+	parallel.Range(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += a[i]
+		}
+	})
+}
+
+// Sum returns the sum of all elements.
+func Sum(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(a []float32) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// L2Norm returns the Euclidean norm of a in float64 for stability.
+func L2Norm(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxIdx returns the index of the maximum element (first on ties) and
+// its value. It panics on empty input.
+func MaxIdx(a []float32) (int, float32) {
+	if len(a) == 0 {
+		panic("tensor: MaxIdx of empty slice")
+	}
+	best, bv := 0, a[0]
+	for i := 1; i < len(a); i++ {
+		if a[i] > bv {
+			best, bv = i, a[i]
+		}
+	}
+	return best, bv
+}
+
+// TopKIdx returns the indices of the k largest elements in descending
+// order of value (ties broken by lower index first). k is clamped to
+// len(a).
+func TopKIdx(a []float32, k int) []int {
+	if k > len(a) {
+		k = len(a)
+	}
+	idx := make([]int, len(a))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return a[idx[x]] > a[idx[y]] })
+	return idx[:k]
+}
+
+// Softmax computes a numerically stable softmax over each row of the
+// (rows × cols) matrix x, writing into dst (which may alias x).
+func Softmax(dst, x []float32, rows, cols int) {
+	if len(dst) < rows*cols || len(x) < rows*cols {
+		panic("tensor: Softmax buffer too small")
+	}
+	parallel.RangeGrain(rows, 1+parallel.MinGrain/(cols+1), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xi := x[r*cols : r*cols+cols]
+			di := dst[r*cols : r*cols+cols]
+			softmaxRow(di, xi)
+		}
+	})
+}
+
+// softmaxRow computes one stable softmax row serially.
+func softmaxRow(dst, x []float32) {
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := float32(math.Exp(float64(v - maxv)))
+		dst[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// SoftmaxBackward computes the gradient of a row softmax: given the
+// softmax output y and upstream gradient dy over (rows × cols), it
+// writes dx[i] = y[i] * (dy[i] - Σ_j y[j]·dy[j]) per row. dx may alias
+// dy.
+func SoftmaxBackward(dx, y, dy []float32, rows, cols int) {
+	parallel.RangeGrain(rows, 1+parallel.MinGrain/(cols+1), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			yr := y[r*cols : r*cols+cols]
+			dyr := dy[r*cols : r*cols+cols]
+			dxr := dx[r*cols : r*cols+cols]
+			var s float64
+			for j := range yr {
+				s += float64(yr[j]) * float64(dyr[j])
+			}
+			sf := float32(s)
+			for j := range yr {
+				dxr[j] = yr[j] * (dyr[j] - sf)
+			}
+		}
+	})
+}
+
+// Transpose writes aᵀ into dst for a (rows × cols) matrix a; dst must
+// have capacity cols × rows and must not alias a.
+func Transpose(dst, a []float32, rows, cols int) {
+	if len(dst) < rows*cols || len(a) < rows*cols {
+		panic("tensor: Transpose buffer too small")
+	}
+	parallel.RangeGrain(rows, 1+parallel.MinGrain/(cols+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				dst[j*rows+i] = a[i*cols+j]
+			}
+		}
+	})
+}
+
+// GatherRows copies rows idx[i] of src (n × cols) into row i of dst
+// (len(idx) × cols). Used by MAE masking to keep only visible patches.
+func GatherRows(dst, src []float32, idx []int, cols int) {
+	for i, r := range idx {
+		copy(dst[i*cols:(i+1)*cols], src[r*cols:(r+1)*cols])
+	}
+}
+
+// ScatterRowsAdd adds row i of src into row idx[i] of dst. The adjoint
+// of GatherRows.
+func ScatterRowsAdd(dst, src []float32, idx []int, cols int) {
+	for i, r := range idx {
+		d := dst[r*cols : (r+1)*cols]
+		s := src[i*cols : (i+1)*cols]
+		for j := range d {
+			d[j] += s[j]
+		}
+	}
+}
+
+func checkLen3(a, b, c []float32) {
+	if len(a) != len(b) || len(b) != len(c) {
+		panic("tensor: length mismatch")
+	}
+}
+
+func checkLen2(a, b []float32) {
+	if len(a) != len(b) {
+		panic("tensor: length mismatch")
+	}
+}

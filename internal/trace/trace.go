@@ -1,0 +1,150 @@
+// Package trace synthesizes rocm-smi-style GPU telemetry traces —
+// power, memory and utilization sampled at a fixed cadence — from a
+// simulated training step, reproducing the bottom panel of the paper's
+// Figure 4. A trace replays the step's phase structure (forward ramp,
+// backward with communication overlap, optimizer dip) cyclically over
+// the sampling window, with deterministic per-sample jitter standing in
+// for sensor noise.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fsdp"
+	"repro/internal/hw"
+	"repro/internal/rng"
+)
+
+// Sample is one telemetry reading for one GCD.
+type Sample struct {
+	TimeSec     float64
+	PowerW      float64
+	MemoryBytes float64
+	UtilPct     float64
+}
+
+// Trace is a time series of samples for one configuration.
+type Trace struct {
+	Label   string
+	Samples []Sample
+}
+
+// Options controls trace synthesis.
+type Options struct {
+	// DurationSec is the wall-clock window to cover.
+	DurationSec float64
+	// IntervalSec is the sampling cadence (rocm-smi default ≈ 1 s).
+	IntervalSec float64
+	Seed        uint64
+}
+
+// DefaultOptions mirrors the paper's trace window.
+func DefaultOptions() Options {
+	return Options{DurationSec: 120, IntervalSec: 1, Seed: 17}
+}
+
+// FromResult synthesizes a telemetry trace for the training
+// configuration summarized by r.
+func FromResult(r fsdp.Result, m hw.Machine, opts Options) Trace {
+	if opts.IntervalSec <= 0 {
+		opts.IntervalSec = 1
+	}
+	if opts.DurationSec <= 0 {
+		opts.DurationSec = 60
+	}
+	g := rng.New(opts.Seed ^ uint64(len(r.Plan.Name())))
+	tr := Trace{Label: r.Plan.Name()}
+
+	// Phase fractions of one step: forward (compute ramp), backward
+	// (compute + overlapped communication), exposed communication, and
+	// the optimizer tail.
+	step := r.StepTime
+	if step <= 0 {
+		step = 1
+	}
+	fwdFrac := r.ComputeTime / 3 / step
+	exposedFrac := r.ExposedComm / step
+	optFrac := 0.02
+	bwdFrac := 1 - fwdFrac - exposedFrac - optFrac
+	if bwdFrac < 0 {
+		bwdFrac = 0
+	}
+
+	for t := 0.0; t < opts.DurationSec; t += opts.IntervalSec {
+		phase := (t / step) - float64(int(t/step)) // position within a step
+		var power, util float64
+		switch {
+		case phase < fwdFrac:
+			power = r.AvgPowerPerGPU * 1.05
+			util = 100 * r.GPUUtilization
+		case phase < fwdFrac+bwdFrac:
+			power = r.AvgPowerPerGPU * 1.02
+			util = 100 * r.GPUUtilization
+		case phase < fwdFrac+bwdFrac+exposedFrac:
+			// Exposed communication: utilization stays pinned (RCCL
+			// kernels occupy CUs) but power sags.
+			power = m.IdlePower + (r.AvgPowerPerGPU-m.IdlePower)*0.6
+			util = 100 * r.GPUUtilization
+		default:
+			power = m.IdlePower + (r.AvgPowerPerGPU-m.IdlePower)*0.4
+			util = 60
+		}
+		power += 6 * g.NormFloat64()
+		util += 1.2 * g.NormFloat64()
+		if power < m.IdlePower {
+			power = m.IdlePower
+		}
+		if power > m.MaxPower {
+			power = m.MaxPower
+		}
+		if util > 100 {
+			util = 100
+		}
+		if util < 0 {
+			util = 0
+		}
+		mem := r.MemoryPerGPU * (1 + 0.005*g.NormFloat64())
+		if mem > m.HBMBytesPerGPU {
+			mem = m.HBMBytesPerGPU
+		}
+		tr.Samples = append(tr.Samples, Sample{TimeSec: t, PowerW: power, MemoryBytes: mem, UtilPct: util})
+	}
+	return tr
+}
+
+// MeanPower returns the trace's average power draw.
+func (t Trace) MeanPower() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range t.Samples {
+		s += v.PowerW
+	}
+	return s / float64(len(t.Samples))
+}
+
+// MeanUtil returns the trace's average utilization percentage.
+func (t Trace) MeanUtil() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range t.Samples {
+		s += v.UtilPct
+	}
+	return s / float64(len(t.Samples))
+}
+
+// RenderCSV formats the trace as rocm-smi-like CSV
+// (time,power_w,mem_gb,util_pct).
+func (t Trace) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Label)
+	b.WriteString("time_s,power_w,memory_gb,gpu_util_pct\n")
+	for _, s := range t.Samples {
+		fmt.Fprintf(&b, "%.1f,%.1f,%.2f,%.1f\n", s.TimeSec, s.PowerW, s.MemoryBytes/1e9, s.UtilPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fsdp"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/vit"
+)
+
+func sampleResult(t *testing.T, plan fsdp.Plan) (fsdp.Result, hw.Machine) {
+	t.Helper()
+	m := hw.Frontier()
+	w := perfmodel.ViTWorkload(vit.ViT5B, 32)
+	r, err := fsdp.Simulate(w, m, 32, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, m
+}
+
+func TestTraceBounds(t *testing.T) {
+	r, m := sampleResult(t, fsdp.BestPractice(fsdp.HybridShard, 2))
+	tr := FromResult(r, m, DefaultOptions())
+	if len(tr.Samples) != 120 {
+		t.Fatalf("samples=%d want 120", len(tr.Samples))
+	}
+	for _, s := range tr.Samples {
+		if s.PowerW < m.IdlePower || s.PowerW > m.MaxPower {
+			t.Fatalf("power %v outside [idle, max]", s.PowerW)
+		}
+		if s.UtilPct < 0 || s.UtilPct > 100 {
+			t.Fatalf("util %v outside [0, 100]", s.UtilPct)
+		}
+		if s.MemoryBytes <= 0 || s.MemoryBytes > m.HBMBytesPerGPU {
+			t.Fatalf("memory %v outside (0, HBM]", s.MemoryBytes)
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	r, m := sampleResult(t, fsdp.BestPractice(fsdp.FullShard, 0))
+	a := FromResult(r, m, DefaultOptions())
+	b := FromResult(r, m, DefaultOptions())
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestHighUtilizationMatchesPaper(t *testing.T) {
+	// Paper: "GPU utilization is approximately 100%" for synthetic runs.
+	r, m := sampleResult(t, fsdp.BestPractice(fsdp.ShardGradOp, 0))
+	tr := FromResult(r, m, DefaultOptions())
+	if tr.MeanUtil() < 80 {
+		t.Fatalf("mean util %v, want ≈100%%", tr.MeanUtil())
+	}
+}
+
+func TestPowerOrderingMatchesThroughput(t *testing.T) {
+	// Figure 4: SHARD_GRAD_OP draws more power than FULL_SHARD.
+	rs, m := sampleResult(t, fsdp.BestPractice(fsdp.ShardGradOp, 0))
+	rf, _ := sampleResult(t, fsdp.BestPractice(fsdp.FullShard, 0))
+	ts := FromResult(rs, m, DefaultOptions())
+	tf := FromResult(rf, m, DefaultOptions())
+	if rs.ImagesPerSec > rf.ImagesPerSec && ts.MeanPower() <= tf.MeanPower() {
+		t.Fatalf("power ordering: SHARD_GRAD_OP %.1f W ≤ FULL_SHARD %.1f W despite higher throughput",
+			ts.MeanPower(), tf.MeanPower())
+	}
+}
+
+func TestMemoryTraceMatchesModel(t *testing.T) {
+	r, m := sampleResult(t, fsdp.BestPractice(fsdp.HybridShard, 2))
+	tr := FromResult(r, m, DefaultOptions())
+	for _, s := range tr.Samples {
+		rel := s.MemoryBytes / r.MemoryPerGPU
+		if rel < 0.95 || rel > 1.05 {
+			t.Fatalf("trace memory %.1f GB deviates from model %.1f GB", s.MemoryBytes/1e9, r.MemoryPerGPU/1e9)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	r, m := sampleResult(t, fsdp.BestPractice(fsdp.HybridShard, 2))
+	csv := FromResult(r, m, Options{DurationSec: 3, IntervalSec: 1, Seed: 1}).RenderCSV()
+	if !strings.Contains(csv, "time_s,power_w,memory_gb,gpu_util_pct") {
+		t.Fatal("missing header")
+	}
+	if strings.Count(csv, "\n") != 5 { // comment + header + 3 rows
+		t.Fatalf("unexpected line count in:\n%s", csv)
+	}
+}
+
+func TestOptionDefaultsApplied(t *testing.T) {
+	r, m := sampleResult(t, fsdp.BestPractice(fsdp.HybridShard, 2))
+	tr := FromResult(r, m, Options{Seed: 1}) // zero duration/interval
+	if len(tr.Samples) != 60 {
+		t.Fatalf("default window gave %d samples", len(tr.Samples))
+	}
+}

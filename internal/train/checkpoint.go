@@ -1,0 +1,90 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// Checkpoint is the on-disk parameter snapshot format: a map from
+// parameter name to raw values, plus enough metadata to detect
+// mismatched restores. gob keeps the repo dependency-free.
+type Checkpoint struct {
+	Format  string
+	Step    int
+	Tensors map[string][]float32
+}
+
+const checkpointFormat = "geofm-checkpoint-v1"
+
+// SaveParams writes a named-parameter snapshot to w.
+func SaveParams(w io.Writer, params []*nn.Param, step int) error {
+	ck := Checkpoint{
+		Format:  checkpointFormat,
+		Step:    step,
+		Tensors: make(map[string][]float32, len(params)),
+	}
+	for _, p := range params {
+		if _, dup := ck.Tensors[p.Name]; dup {
+			return fmt.Errorf("train: duplicate parameter name %q", p.Name)
+		}
+		ck.Tensors[p.Name] = p.Value.Data
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadParams restores a snapshot into params, matching by name. Every
+// parameter must be present with the exact element count.
+func LoadParams(r io.Reader, params []*nn.Param) (step int, err error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("train: decoding checkpoint: %w", err)
+	}
+	if ck.Format != checkpointFormat {
+		return 0, fmt.Errorf("train: unknown checkpoint format %q", ck.Format)
+	}
+	for _, p := range params {
+		data, ok := ck.Tensors[p.Name]
+		if !ok {
+			return 0, fmt.Errorf("train: checkpoint missing parameter %q", p.Name)
+		}
+		if len(data) != p.NumEl() {
+			return 0, fmt.Errorf("train: parameter %q has %d values, model expects %d",
+				p.Name, len(data), p.NumEl())
+		}
+		copy(p.Value.Data, data)
+	}
+	return ck.Step, nil
+}
+
+// SaveParamsFile writes a snapshot to path (atomically via a temp file).
+func SaveParamsFile(path string, params []*nn.Param, step int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, params, step); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadParamsFile restores a snapshot from path.
+func LoadParamsFile(path string, params []*nn.Param) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}

@@ -1,0 +1,141 @@
+// Package train implements the self-supervised pretraining engine: the
+// epoch/step loop over the MAE model with AdamW, linear-warmup cosine
+// learning-rate schedule, gradient clipping, loss telemetry and
+// checkpointing — the Section V pretraining recipe of the paper at
+// laptop scale.
+package train
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataload"
+	"repro/internal/geodata"
+	"repro/internal/mae"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// PretrainConfig carries the pretraining hyper-parameters. The defaults
+// (via DefaultPretrain) follow Section V: AdamW with base LR 1.5e-4
+// under the linear batch-scaling rule, weight decay 0.05, cosine decay,
+// 75% masking (part of the MAE config).
+type PretrainConfig struct {
+	MAE          mae.Config
+	BatchSize    int
+	Epochs       int
+	BaseLR       float64
+	WeightDecay  float64
+	WarmupEpochs int
+	ClipNorm     float64
+	Workers      int
+	Seed         uint64
+	// Log receives progress lines; nil silences output.
+	Log io.Writer
+	// MaxStepsPerEpoch truncates epochs (0 = full epochs); used by fast
+	// tests and the quickstart example.
+	MaxStepsPerEpoch int
+}
+
+// DefaultPretrain returns the paper's recipe for a given MAE config.
+func DefaultPretrain(m mae.Config) PretrainConfig {
+	return PretrainConfig{
+		MAE:          m,
+		BatchSize:    32,
+		Epochs:       100,
+		BaseLR:       1.5e-4,
+		WeightDecay:  0.05,
+		WarmupEpochs: 5,
+		ClipNorm:     5.0,
+		Workers:      4,
+		Seed:         1,
+	}
+}
+
+// PretrainResult bundles the trained model and its telemetry.
+type PretrainResult struct {
+	Model *mae.Model
+	// LossCurve holds (step, loss) points — the Figure 5 series.
+	LossCurve metrics.Series
+	// EpochLoss holds (epoch, mean loss) points.
+	EpochLoss    metrics.Series
+	ImagesPerSec float64
+	Steps        int
+}
+
+// Pretrain runs MAE pretraining over the dataset's training split and
+// returns the model plus loss curves.
+func Pretrain(cfg PretrainConfig, ds *geodata.Dataset) (*PretrainResult, error) {
+	if err := cfg.MAE.Validate(); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: non-positive batch size or epochs")
+	}
+	model := mae.New(cfg.MAE, rng.New(cfg.Seed))
+	res := &PretrainResult{Model: model}
+	res.LossCurve.Name = cfg.MAE.Encoder.Name + " pretrain loss"
+	res.EpochLoss.Name = cfg.MAE.Encoder.Name + " epoch loss"
+
+	params := model.Params()
+	optim := opt.NewAdamW(params, cfg.WeightDecay)
+	stepsPerEpoch := ds.TrainCount / cfg.BatchSize
+	if cfg.MaxStepsPerEpoch > 0 && stepsPerEpoch > cfg.MaxStepsPerEpoch {
+		stepsPerEpoch = cfg.MaxStepsPerEpoch
+	}
+	if stepsPerEpoch == 0 {
+		return nil, fmt.Errorf("train: dataset smaller than one batch")
+	}
+	sched := opt.CosineSchedule{
+		Base:        opt.ScaledLR(cfg.BaseLR, cfg.BatchSize),
+		MinLR:       0,
+		WarmupSteps: cfg.WarmupEpochs * stepsPerEpoch,
+		TotalSteps:  cfg.Epochs * stepsPerEpoch,
+	}
+
+	gen := ds.Gen
+	loader := dataload.New(
+		dataload.TrainSplit{D: ds, Count: ds.TrainCount, ImgLen: gen.ImageLen()},
+		dataload.Config{
+			BatchSize: cfg.BatchSize,
+			Workers:   cfg.Workers,
+			Shuffle:   true,
+			DropLast:  true,
+			Seed:      cfg.Seed ^ 0xDA7A,
+		})
+
+	start := time.Now()
+	images := 0
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss metrics.Meter
+		for batch := range loader.EpochN(stepsPerEpoch) {
+			nn.ZeroGrads(params)
+			loss := model.Step(batch.Images, batch.Size)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			optim.Step(sched.LR(step))
+			loader.Recycle(batch)
+
+			epochLoss.Add(loss)
+			res.LossCurve.Append(float64(step), loss)
+			images += batch.Size
+			step++
+		}
+		res.EpochLoss.Append(float64(epoch), epochLoss.Mean())
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.4f  lr %.2e\n",
+				epoch+1, cfg.Epochs, epochLoss.Mean(), sched.LR(step-1))
+		}
+	}
+	res.Steps = step
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		res.ImagesPerSec = float64(images) / elapsed
+	}
+	return res, nil
+}

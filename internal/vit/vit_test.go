@@ -1,0 +1,220 @@
+package vit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// TestTableI verifies that our analytic parameter counting matches the
+// paper's Table I "Parameters [M]" column, which is the first artifact
+// the reproduction must regenerate. The ViT-5B row is a known
+// paper-internal inconsistency (see PaperParamsM doc comment), so it is
+// checked against the value standard ViT algebra yields instead.
+func TestTableI(t *testing.T) {
+	// 2% tolerance: the paper's round numbers include learned positional
+	// embeddings and (for Base) the canonical classification head, which
+	// our sin-cos/MAE configuration does not have.
+	const tolerance = 0.02
+	for _, cfg := range TableI {
+		gotM := float64(cfg.EncoderParams()) / 1e6
+		want := PaperParamsM[cfg.Name]
+		if cfg.Name == "ViT-5B" {
+			want = 3802 // standard counting; paper prints 5349 (see config.go)
+		}
+		rel := math.Abs(gotM-want) / want
+		if rel > tolerance {
+			t.Errorf("%s: %0.1fM params, want %0.0fM (rel err %.3f)", cfg.Name, gotM, want, rel)
+		}
+	}
+}
+
+func TestTableIOrdering(t *testing.T) {
+	// Sizes must be strictly increasing in presentation order.
+	prev := int64(0)
+	for _, cfg := range TableI {
+		n := cfg.EncoderParams()
+		if n <= prev {
+			t.Fatalf("%s param count %d not larger than previous %d", cfg.Name, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range TableI {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+	}
+	bad := Config{Name: "bad", Width: 10, Depth: 1, MLP: 4, Heads: 3, PatchSize: 4, ImageSize: 16, Channels: 3}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("indivisible heads accepted")
+	}
+	bad2 := Config{Name: "bad2", Width: 8, Depth: 1, MLP: 4, Heads: 2, PatchSize: 5, ImageSize: 16, Channels: 3}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("indivisible image/patch accepted")
+	}
+}
+
+func TestTokensAndPatchDim(t *testing.T) {
+	c := Config{Width: 8, Depth: 1, MLP: 16, Heads: 2, PatchSize: 14, ImageSize: 224, Channels: 3}
+	if c.Tokens() != 256 {
+		t.Fatalf("Tokens=%d want 256", c.Tokens())
+	}
+	if c.Grid() != 16 {
+		t.Fatalf("Grid=%d", c.Grid())
+	}
+	if c.PatchDim() != 14*14*3 {
+		t.Fatalf("PatchDim=%d", c.PatchDim())
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("ViT-3B")
+	if err != nil || c.Width != 2816 {
+		t.Fatalf("ByName: %+v, %v", c, err)
+	}
+	if _, err := ByName("ViT-9000"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestAnalogFamilyOrdering(t *testing.T) {
+	fam, err := AnalogFamily(32, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 4 {
+		t.Fatalf("family size %d", len(fam))
+	}
+	prev := int64(0)
+	for _, c := range fam {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", c.Name, err)
+		}
+		n := c.EncoderParams()
+		if n <= prev {
+			t.Fatalf("analog %s not larger than predecessor", c.Name)
+		}
+		prev = n
+	}
+}
+
+func TestAnalogUnknown(t *testing.T) {
+	if _, err := Analog("ViT-15B", 32, 8, 3); err == nil {
+		t.Fatal("expected error: no analog for 15B")
+	}
+}
+
+func TestModelParamCountMatchesAnalytic(t *testing.T) {
+	// The live model must contain exactly the parameters the analytic
+	// formula predicts — this ties the simulator's memory model to the
+	// real implementation.
+	cfg, err := Analog("ViT-Base", 16, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(cfg, rng.New(1))
+	if got, want := m.NumParams(), cfg.EncoderParams(); got != want {
+		t.Fatalf("live params %d != analytic %d", got, want)
+	}
+}
+
+func TestEncoderForwardShape(t *testing.T) {
+	cfg := Config{Name: "tiny", Width: 16, Depth: 2, MLP: 32, Heads: 2,
+		PatchSize: 4, ImageSize: 8, Channels: 3}
+	r := rng.New(2)
+	e := NewEncoder(cfg, r)
+	const batch, tokens = 3, 4
+	x := make([]float32, batch*tokens*cfg.Width)
+	r.FillNormal(x, 0, 1)
+	y := e.Forward(x, batch, tokens)
+	if len(y) != batch*tokens*cfg.Width {
+		t.Fatalf("len=%d", len(y))
+	}
+	dy := make([]float32, len(y))
+	r.FillNormal(dy, 0, 1)
+	dx := e.Backward(dy)
+	if len(dx) != len(x) {
+		t.Fatalf("dx len=%d", len(dx))
+	}
+}
+
+func TestModelFeaturesShapeAndDeterminism(t *testing.T) {
+	cfg := Config{Name: "tiny", Width: 16, Depth: 2, MLP: 32, Heads: 2,
+		PatchSize: 4, ImageSize: 8, Channels: 3}
+	r := rng.New(3)
+	m := NewModel(cfg, r)
+	const batch = 2
+	imgs := make([]float32, batch*8*8*3)
+	r.FillNormal(imgs, 0, 1)
+	f1 := append([]float32(nil), m.Features(imgs, batch)...)
+	f2 := m.Features(imgs, batch)
+	if len(f1) != batch*cfg.Width {
+		t.Fatalf("feature len %d", len(f1))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("Features not deterministic for fixed input")
+		}
+	}
+}
+
+func TestModelEndToEndGradient(t *testing.T) {
+	// Full-pipeline gradient check: loss = Σ c·features; verify dW for a
+	// sample of parameters via central differences.
+	cfg := Config{Name: "tiny", Width: 8, Depth: 1, MLP: 16, Heads: 2,
+		PatchSize: 4, ImageSize: 8, Channels: 2}
+	r := rng.New(4)
+	m := NewModel(cfg, r)
+	const batch = 2
+	imgs := make([]float32, batch*8*8*2)
+	r.FillNormal(imgs, 0, 1)
+	coef := make([]float32, batch*cfg.Width)
+	r.FillNormal(coef, 0, 1)
+
+	loss := func() float64 {
+		f := m.Features(imgs, batch)
+		var s float64
+		for i := range coef {
+			s += float64(coef[i]) * float64(f[i])
+		}
+		return s
+	}
+	ps := m.Params()
+	nn.ZeroGrads(ps)
+	_ = m.Features(imgs, batch)
+	m.BackwardFeatures(coef)
+
+	const h = 1e-2
+	for _, p := range []*nn.Param{ps[0], ps[len(ps)/2], ps[len(ps)-1]} {
+		for _, idx := range []int{0, p.NumEl() - 1} {
+			orig := p.Value.Data[idx]
+			p.Value.Data[idx] = orig + h
+			lp := loss()
+			p.Value.Data[idx] = orig - h
+			lm := loss()
+			p.Value.Data[idx] = orig
+			num := (lp - lm) / (2 * h)
+			got := float64(p.Grad.Data[idx])
+			scale := math.Max(1, math.Abs(num))
+			if math.Abs(num-got)/scale > 3e-2 {
+				t.Errorf("%s[%d]: numeric %v analytic %v", p.Name, idx, num, got)
+			}
+		}
+	}
+}
+
+func TestBlockParamsFormula(t *testing.T) {
+	// Cross-check the closed form against a live block.
+	r := rng.New(5)
+	cfg := Config{Width: 24, Depth: 1, MLP: 48, Heads: 4, PatchSize: 4, ImageSize: 8, Channels: 3}
+	b := nn.NewBlock("b", cfg.Width, cfg.MLP, cfg.Heads, r)
+	live := int64(nn.CountParams(b.Params()))
+	if live != cfg.BlockParams() {
+		t.Fatalf("live block params %d != formula %d", live, cfg.BlockParams())
+	}
+}
