@@ -1,0 +1,27 @@
+# Developer entry points for the repro tree. CI runs vet+build+test
+# (see .github/workflows/ci.yml); `make bench` records the GEMM and
+# attention kernel throughput into BENCH_gemm.json for the perf
+# trajectory across PRs.
+
+GO ?= go
+
+.PHONY: build vet test test-all bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -short ./...
+
+test-all:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench 'GEMM' -run NONE -benchtime 2s ./internal/tensor/ ./internal/nn/ > bench_gemm.out
+	@cat bench_gemm.out
+	$(GO) run ./tools/benchjson < bench_gemm.out > BENCH_gemm.json
+	@rm -f bench_gemm.out
+	@echo "wrote BENCH_gemm.json"

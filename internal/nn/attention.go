@@ -16,6 +16,13 @@ import (
 //
 // The layer owns its fused QKV projection and output projection and
 // caches the per-head attention probabilities for the backward pass.
+// Every per-head matrix product — S = Q·Kᵀ, O = P·V, and all five
+// backward products — runs through the blocked GEMM kernels in
+// internal/tensor. The head-interleaved operands (dO inside the
+// upstream (B·T × W) gradient, the per-head thirds of the fused
+// (B·T × 3W) QKV gradient) are addressed in place via the strided
+// MatMul*Ld entry points, so no per-token rearrangement loops or
+// per-head gradient scratch buffers remain.
 type MultiHeadAttention struct {
 	Width, Heads, HeadDim int
 
@@ -24,15 +31,17 @@ type MultiHeadAttention struct {
 
 	batch, tokens int
 
-	// [b·h][t][d] contiguous rearrangements of the fused QKV output.
+	// [b·h][t][d] contiguous rearrangements of the fused QKV output,
+	// kept packed because both the forward S = Q·Kᵀ and four of the
+	// backward products re-read them.
 	q, k, v []float32
 	// cached softmax probabilities, one (T×T) matrix per (b,h).
 	probs []float32
-	// scratch for forward output and backward intermediates
-	attnOut            []float32
-	dqkv               []float32
-	dq, dk, dv, dp, ds []float32
-	do_                []float32
+	// scratch, grown once and reused across steps: forward output,
+	// fused QKV gradient, and the per-head dP/dS intermediates.
+	attnOut []float32
+	dqkv    []float32
+	dp, ds  []float32
 }
 
 // NewMultiHeadAttention builds the layer; width must be divisible by
@@ -94,23 +103,11 @@ func (a *MultiHeadAttention) Forward(x []float32, batch, tokens int) []float32 {
 			p[j] *= scale
 		}
 		tensor.Softmax(p, p, tokens, tokens)
-		// Per-head output O = P·V written back into (B·T × W) layout.
+		// Per-head output O = P·V, written as a strided (T × D) tile
+		// straight into the (B·T × W) layout.
 		b, hh := i/h, i%h
-		for t := 0; t < tokens; t++ {
-			ot := a.attnOut[(b*tokens+t)*w+hh*d:]
-			pt := p[t*tokens : (t+1)*tokens]
-			for j := 0; j < d; j++ {
-				ot[j] = 0
-			}
-			for s := 0; s < tokens; s++ {
-				if ps := pt[s]; ps != 0 {
-					vs := v[s*d : (s+1)*d]
-					for j := 0; j < d; j++ {
-						ot[j] += ps * vs[j]
-					}
-				}
-			}
-		}
+		tensor.MatMulLd(a.attnOut[(b*tokens)*w+hh*d:], p, v,
+			tokens, tokens, d, tokens, d, w, false)
 	})
 
 	return a.Out.Forward(a.attnOut, batch*tokens)
@@ -125,59 +122,41 @@ func (a *MultiHeadAttention) Backward(dy []float32) []float32 {
 	dAttn := a.Out.Backward(dy) // (B·T × W)
 
 	bh := batch * h
-	a.do_ = grow(a.do_, bh*tokens*d)
-	a.dq = grow(a.dq, bh*tokens*d)
-	a.dk = grow(a.dk, bh*tokens*d)
-	a.dv = grow(a.dv, bh*tokens*d)
 	a.dp = grow(a.dp, bh*tokens*tokens)
 	a.ds = grow(a.ds, bh*tokens*tokens)
 	a.dqkv = grow(a.dqkv, batch*tokens*3*w)
 
-	// Rearrange upstream gradient into per-(b,h) (T × D).
-	parallel.ForGrain(bh, 1, func(i int) {
-		b, hh := i/h, i%h
-		for t := 0; t < tokens; t++ {
-			src := dAttn[(b*tokens+t)*w+hh*d:]
-			copy(a.do_[i*tokens*d+t*d:i*tokens*d+(t+1)*d], src[:d])
-		}
-	})
-
 	scale := float32(1 / math.Sqrt(float64(d)))
 	parallel.ForGrain(bh, 1, func(i int) {
+		b, hh := i/h, i%h
 		q := a.q[i*tokens*d : (i+1)*tokens*d]
 		k := a.k[i*tokens*d : (i+1)*tokens*d]
 		v := a.v[i*tokens*d : (i+1)*tokens*d]
 		p := a.probs[i*tokens*tokens : (i+1)*tokens*tokens]
-		do := a.do_[i*tokens*d : (i+1)*tokens*d]
 		dp := a.dp[i*tokens*tokens : (i+1)*tokens*tokens]
 		ds := a.ds[i*tokens*tokens : (i+1)*tokens*tokens]
-		dq := a.dq[i*tokens*d : (i+1)*tokens*d]
-		dk := a.dk[i*tokens*d : (i+1)*tokens*d]
-		dv := a.dv[i*tokens*d : (i+1)*tokens*d]
+		// This head's dO is a strided (T × D) view of dAttn; its dQ,
+		// dK, dV are strided (T × D) tiles of the fused (B·T × 3W)
+		// gradient. Addressing them in place replaces the old
+		// rearrange/reassemble copy passes.
+		do := dAttn[(b*tokens)*w+hh*d:]
+		dqkvH := a.dqkv[(b*tokens)*3*w:]
 
-		// dV = Pᵀ·dO ; dP = dO·Vᵀ
-		tensor.MatMulTA(dv, p, do, tokens, tokens, d, false)
-		tensor.MatMulTB(dp, do, v, tokens, d, tokens, false)
+		// dV = Pᵀ·dO, written into the V third of the fused gradient.
+		tensor.MatMulTALd(dqkvH[2*w+hh*d:], p, do,
+			tokens, tokens, d, tokens, w, 3*w, false)
+		// dP = dO·Vᵀ
+		tensor.MatMulTBLd(dp, do, v, tokens, d, tokens, w, d, tokens, false)
 		// dS = softmax backward, then fold in the 1/√d scale.
 		tensor.SoftmaxBackward(ds, p, dp, tokens, tokens)
 		for j := range ds {
 			ds[j] *= scale
 		}
-		// dQ = dS·K ; dK = dSᵀ·Q
-		tensor.MatMul(dq, ds, k, tokens, tokens, d, false)
-		tensor.MatMulTA(dk, ds, q, tokens, tokens, d, false)
-	})
-
-	// Reassemble into the fused (B·T × 3W) gradient.
-	parallel.ForGrain(bh, 1, func(i int) {
-		b, hh := i/h, i%h
-		for t := 0; t < tokens; t++ {
-			dst := a.dqkv[(b*tokens+t)*3*w:]
-			src := i*tokens*d + t*d
-			copy(dst[hh*d:hh*d+d], a.dq[src:src+d])
-			copy(dst[w+hh*d:w+hh*d+d], a.dk[src:src+d])
-			copy(dst[2*w+hh*d:2*w+hh*d+d], a.dv[src:src+d])
-		}
+		// dQ = dS·K into the Q third; dK = dSᵀ·Q into the K third.
+		tensor.MatMulLd(dqkvH[hh*d:], ds, k,
+			tokens, tokens, d, tokens, d, 3*w, false)
+		tensor.MatMulTALd(dqkvH[w+hh*d:], ds, q,
+			tokens, tokens, d, tokens, d, 3*w, false)
 	})
 
 	return a.QKV.Backward(a.dqkv)

@@ -1,7 +1,22 @@
 // Package parallel provides the shared-memory parallel execution
-// substrate used by the pure-Go training stack. It offers a persistent
-// worker pool, a deterministic parallel-for over index ranges, and
-// grain-size control so small problems stay on one goroutine.
+// substrate used by the pure-Go training stack: a persistent worker
+// pool, a deterministic parallel-for over index ranges, and grain-size
+// control so small problems stay on one goroutine.
+//
+// The pool starts lazily on the first parallel call and keeps
+// GOMAXPROCS long-lived workers parked on a job channel. Each For/Range
+// invocation publishes one job descriptor; workers (and the submitting
+// goroutine, which always participates) claim contiguous sub-ranges via
+// an atomic cursor, so no goroutines are spawned per call and a small
+// parallel loop runs with zero steady-state allocations. Job
+// descriptors are recycled through a sync.Pool.
+//
+// The split is always the deterministic contiguous partition computed
+// by Split — worker scheduling affects only which goroutine executes a
+// sub-range, never the sub-range boundaries — so callers observe the
+// same work decomposition on every run. Nested parallel calls are safe:
+// an inner call's submitter helps execute its own job, which guarantees
+// progress even when every pool worker is blocked in an outer job.
 //
 // All heavy numeric kernels in internal/tensor route through this
 // package, which keeps goroutine fan-out bounded by GOMAXPROCS and
@@ -27,17 +42,127 @@ func maxProcs() int {
 	return n
 }
 
+// job describes one parallel-for invocation. Exactly one of rbody and
+// fbody is non-nil. The n items are divided into p tasks via Split.
+//
+// Jobs are recycled through jobPool, so a worker may receive a jobRef
+// whose descriptor has since been reused for a newer invocation. All
+// claiming therefore goes through state, a single atomic word packing
+// (generation << 32 | claim cursor): a claim is a CAS that both checks
+// the generation from the ref and advances the cursor, so a stale ref
+// can never claim — or even observe the mutable fields of — a later
+// generation. The CAS observing the publishing Store also gives the
+// claimer a happens-before edge to the plain field writes.
+// (Generations wrap at 2^32; an ABA would need a worker to sleep across
+// 4 billion dispatches of one descriptor while holding its ref.)
+type job struct {
+	rbody     func(lo, hi int)
+	fbody     func(i int)
+	n, p      int
+	state     atomic.Uint64
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// jobRef is the value sent to workers: the descriptor plus the
+// generation and task count it was published with, so workers need not
+// read any mutable job field before a successful gen-checked claim.
+type jobRef struct {
+	j   *job
+	gen uint32
+	p   uint32
+}
+
+var (
+	poolOnce sync.Once
+	jobs     chan jobRef
+	jobPool  = sync.Pool{New: func() any {
+		return &job{done: make(chan struct{}, 1)}
+	}}
+)
+
+// startPool launches the persistent workers. The pool size is fixed at
+// the GOMAXPROCS value observed on first use.
+func startPool() {
+	p := maxProcs()
+	jobs = make(chan jobRef, 64*p)
+	for w := 0; w < p; w++ {
+		go func() {
+			for ref := range jobs {
+				runTasks(ref)
+			}
+		}()
+	}
+}
+
+// runTasks claims and executes tasks of ref's generation until none
+// remain unclaimed (or the descriptor has moved on to a new
+// generation, in which case the ref is stale and there is nothing to
+// do).
+func runTasks(ref jobRef) {
+	j := ref.j
+	for {
+		v := j.state.Load()
+		if uint32(v>>32) != ref.gen || uint32(v) >= ref.p {
+			return
+		}
+		if !j.state.CompareAndSwap(v, v+1) {
+			continue
+		}
+		t := int(uint32(v))
+		lo, hi := Split(j.n, j.p, t)
+		if j.rbody != nil {
+			j.rbody(lo, hi)
+		} else {
+			for i := lo; i < hi; i++ {
+				j.fbody(i)
+			}
+		}
+		if j.remaining.Add(-1) == 0 {
+			j.done <- struct{}{}
+		}
+	}
+}
+
+// dispatch publishes a job with p tasks over [0, n), helps execute it,
+// and waits for completion. Wake-up sends are non-blocking: if the job
+// channel is full every worker is already busy, and the submitting
+// goroutine (plus workers finishing earlier jobs) still drains the job.
+func dispatch(n, p int, rbody func(lo, hi int), fbody func(i int)) {
+	poolOnce.Do(startPool)
+	j := jobPool.Get().(*job)
+	gen := uint32(j.state.Load()>>32) + 1
+	j.rbody, j.fbody, j.n, j.p = rbody, fbody, n, p
+	j.remaining.Store(int64(p))
+	j.state.Store(uint64(gen) << 32) // cursor 0: publishes the job
+	ref := jobRef{j, gen, uint32(p)}
+wake:
+	for w := 0; w < p-1; w++ {
+		select {
+		case jobs <- ref:
+		default:
+			break wake // channel full: workers are saturated already
+		}
+	}
+	runTasks(ref)
+	<-j.done
+	// All claimed tasks have finished (remaining hit 0), so no stale
+	// reader can still dereference the closures; drop them for the GC.
+	j.rbody, j.fbody = nil, nil
+	jobPool.Put(j)
+}
+
 // For runs body(i) for every i in [0, n) using up to GOMAXPROCS
-// goroutines. The split is contiguous and deterministic: worker w
-// receives the half-open range [w*n/p, (w+1)*n/p). For small n the body
-// runs inline on the calling goroutine.
+// goroutines from the persistent pool. The split is contiguous and
+// deterministic: task w covers the half-open range [w*n/p, (w+1)*n/p).
+// For small n the body runs inline on the calling goroutine.
 func For(n int, body func(i int)) {
 	ForGrain(n, MinGrain, body)
 }
 
 // ForGrain is For with an explicit grain size: if n < grain the loop
 // runs serially; otherwise at most n/grain (capped at GOMAXPROCS)
-// workers are used.
+// tasks are claimed by the pool.
 func ForGrain(n, grain int, body func(i int)) {
 	if n <= 0 {
 		return
@@ -49,18 +174,7 @@ func ForGrain(n, grain int, body func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		lo, hi := Split(n, p, w)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatch(n, p, nil, body)
 }
 
 // Range runs body(lo, hi) on contiguous sub-ranges of [0, n) in
@@ -80,16 +194,7 @@ func RangeGrain(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		lo, hi := Split(n, p, w)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatch(n, p, body, nil)
 }
 
 // Split returns the half-open range [lo, hi) assigned to worker w when
@@ -122,9 +227,10 @@ func workersFor(n, grain int) int {
 }
 
 // Do runs the given closures concurrently and waits for all of them.
-// It is a convenience for forking a small, fixed set of tasks (for
-// example, computing gradient statistics while the optimizer step for
-// another layer proceeds).
+// It is a convenience for forking a small, fixed set of tasks. Unlike
+// For/Range, Do guarantees each closure its own goroutine (closures may
+// legitimately block on one another), so it does not use the pool; it
+// is not for hot paths.
 func Do(fns ...func()) {
 	if len(fns) == 0 {
 		return
@@ -159,10 +265,3 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

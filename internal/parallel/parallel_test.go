@@ -1,10 +1,22 @@
 package parallel
 
 import (
+	"os"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
+
+// TestMain raises GOMAXPROCS so the persistent pool's parallel dispatch
+// path is exercised even on single-CPU CI machines (goroutines then
+// timeshare one core, which still shakes out claiming/completion races).
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
 
 func TestSplitCoversRangeExactly(t *testing.T) {
 	cases := []struct{ n, p int }{
@@ -162,6 +174,47 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+// TestNestedParallel exercises a parallel loop whose body issues
+// further parallel loops (the attention layer's shape: ForGrain over
+// heads, GEMM RangeGrain inside). The submitter-helps design must
+// complete every level without deadlock or lost iterations.
+func TestNestedParallel(t *testing.T) {
+	const outer, inner = 64, 2048
+	var sum atomic.Int64
+	ForGrain(outer, 1, func(i int) {
+		RangeGrain(inner, 64, func(lo, hi int) {
+			var local int64
+			for j := lo; j < hi; j++ {
+				local += int64(j)
+			}
+			sum.Add(local)
+		})
+	})
+	want := int64(outer) * int64(inner) * int64(inner-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum=%d want %d", sum.Load(), want)
+	}
+}
+
+// TestPoolReusePressure hammers the pool with many short jobs so that
+// recycled job descriptors and stale channel entries interleave; every
+// job must still visit each index exactly once.
+func TestPoolReusePressure(t *testing.T) {
+	const rounds, n = 500, 256
+	hits := make([]atomic.Int32, n)
+	for r := 0; r < rounds; r++ {
+		for i := range hits {
+			hits[i].Store(0)
+		}
+		ForGrain(n, 1, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("round %d: index %d visited %d times", r, i, got)
+			}
+		}
+	}
+}
+
 func BenchmarkForGrain(b *testing.B) {
 	data := make([]float32, 1<<20)
 	b.ReportAllocs()
@@ -172,4 +225,30 @@ func BenchmarkForGrain(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPoolDispatchSmall measures per-call overhead of a small
+// parallel loop. With the persistent pool this must report ~0 allocs/op
+// (the pre-pool implementation spawned fresh goroutines every call).
+func BenchmarkPoolDispatchSmall(b *testing.B) {
+	var sink atomic.Int64
+	body := func(lo, hi int) { sink.Add(int64(hi - lo)) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RangeGrain(4096, 512, body)
+	}
+}
+
+// BenchmarkPoolDispatchSerial is the grain-gated inline path: zero
+// dispatch work at all.
+func BenchmarkPoolDispatchSerial(b *testing.B) {
+	var sink int64
+	body := func(lo, hi int) { sink += int64(hi - lo) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RangeGrain(64, 1024, body)
+	}
+	_ = sink
 }

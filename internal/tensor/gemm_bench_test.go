@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// benchGEMM times one kernel shape and reports achieved GFLOP/s
+// (2·m·k·n FLOPs per call).
+func benchGEMM(b *testing.B, m, k, n int, call func(c, a, bb []float32)) {
+	r := rng.New(1)
+	a := randMat(r, m*k)
+	bb := randMat(r, k*n)
+	c := make([]float32, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call(c, a, bb)
+	}
+	b.StopTimer()
+	flops := 2 * float64(m) * float64(k) * float64(n) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkGEMM measures the blocked, packed kernels across the paper's
+// hot shapes. The acceptance gate for the kernel rewrite is ≥2× GFLOP/s
+// over BenchmarkGEMMStream at the 256³ and 512³ shapes.
+func BenchmarkGEMM(b *testing.B) {
+	for _, s := range []int{128, 256, 512} {
+		b.Run(fmt.Sprintf("NN%d", s), func(b *testing.B) {
+			benchGEMM(b, s, s, s, func(c, a, bb []float32) {
+				MatMul(c, a, bb, s, s, s, false)
+			})
+		})
+	}
+	const s = 256
+	b.Run("TB256", func(b *testing.B) {
+		benchGEMM(b, s, s, s, func(c, a, bb []float32) {
+			MatMulTB(c, a, bb, s, s, s, false)
+		})
+	})
+	b.Run("TA256", func(b *testing.B) {
+		benchGEMM(b, s, s, s, func(c, a, bb []float32) {
+			MatMulTA(c, a, bb, s, s, s, false)
+		})
+	})
+	// ViT-ish rectangular shapes: token×width GEMMs from the encoder.
+	b.Run("NN196x768x768", func(b *testing.B) {
+		benchGEMM(b, 196, 768, 768, func(c, a, bb []float32) {
+			MatMul(c, a, bb, 196, 768, 768, false)
+		})
+	})
+	b.Run("NN196x768x3072", func(b *testing.B) {
+		benchGEMM(b, 196, 768, 3072, func(c, a, bb []float32) {
+			MatMul(c, a, bb, 196, 768, 3072, false)
+		})
+	})
+}
+
+// streamMatMul is a verbatim copy of the pre-blocking row-streaming
+// kernel (parallel rows of C, axpy over rows of B), kept in the bench
+// binary as the before/after baseline for the perf trajectory.
+func streamMatMul(c, a, b []float32, m, k, n int) {
+	grain := rowsGrain(k, n)
+	parallel.RangeGrain(m, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := a[i*k : i*k+k]
+			for kk, av := range ai {
+				if av == 0 {
+					continue
+				}
+				axpy(av, b[kk*n:kk*n+n], ci)
+			}
+		}
+	})
+}
+
+// BenchmarkGEMMStream is the pre-PR kernel at the acceptance shapes.
+func BenchmarkGEMMStream(b *testing.B) {
+	for _, s := range []int{256, 512} {
+		b.Run(fmt.Sprintf("NN%d", s), func(b *testing.B) {
+			benchGEMM(b, s, s, s, func(c, a, bb []float32) {
+				streamMatMul(c, a, bb, s, s, s)
+			})
+		})
+	}
+}
+
+// BenchmarkGEMMNaiveBaseline is the unblocked triple loop at 256³, the
+// ablation baseline for the DESIGN.md blocking study.
+func BenchmarkGEMMNaiveBaseline(b *testing.B) {
+	const s = 256
+	benchGEMM(b, s, s, s, func(c, a, bb []float32) {
+		MatMulNaive(c, a, bb, s, s, s)
+	})
+}

@@ -1,0 +1,42 @@
+//go:build amd64 && !purego
+
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestAsmKernelMatchesGeneric compares the AVX2+FMA micro-kernel
+// against the portable Go kernel on identical packed panels, including
+// kc values off the unroll boundary and a strided C. FMA contracts the
+// multiply-add rounding, so exact equality is not expected.
+func TestAsmKernelMatchesGeneric(t *testing.T) {
+	if !haveFMA {
+		t.Skip("no AVX2+FMA on this CPU")
+	}
+	r := rng.New(5)
+	for _, kc := range []int{1, 2, 3, 7, 64, 255, 256} {
+		for _, ldc := range []int{nr, nr + 5, 40} {
+			ap := randMat(r, kc*mr)
+			bp := randMat(r, kc*nr)
+			cAsm := randMat(r, (mr-1)*ldc+nr)
+			cGo := make([]float32, len(cAsm))
+			copy(cGo, cAsm)
+			kern6x16(kc, &ap[0], &bp[0], &cAsm[0], ldc)
+			kern6x16go(kc, &ap[0], &bp[0], &cGo[0], ldc)
+			if i, ok := relClose(cAsm, cGo, relTol); !ok {
+				t.Fatalf("kc=%d ldc=%d: asm/generic mismatch at %d: %v vs %v",
+					kc, ldc, i, cAsm[i], cGo[i])
+			}
+		}
+	}
+}
+
+func TestDetectFMAConsistent(t *testing.T) {
+	// Re-running detection must be stable (CPUID is not flaky).
+	if detectFMA() != haveFMA {
+		t.Fatal("detectFMA not deterministic")
+	}
+}

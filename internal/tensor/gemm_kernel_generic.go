@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// haveFastKernel reports whether a SIMD micro-kernel is available. The
+// portable scalar micro-kernel cannot beat the streaming axpy/dot
+// kernels (both sit at the scalar FP port limit), so without SIMD the
+// dispatchers skip the packing overhead and stream directly.
+const haveFastKernel = false
+
+// microKern dispatches the portable micro-kernel on platforms without a
+// hand-written assembly kernel.
+func microKern(kc int, ap, bp, cp *float32, ldc int) {
+	kern6x16go(kc, ap, bp, cp, ldc)
+}

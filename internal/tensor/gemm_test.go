@@ -196,28 +196,5 @@ func TestMatMulTShapePanic(t *testing.T) {
 	MatMulT(New(2, 3), New(2, 3))
 }
 
-func BenchmarkMatMulBlocked256(b *testing.B) {
-	r := rng.New(1)
-	const n = 256
-	a, bb := randMat(r, n*n), randMat(r, n*n)
-	c := make([]float32, n*n)
-	b.SetBytes(int64(2 * n * n * n * 4))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MatMul(c, a, bb, n, n, n, false)
-	}
-}
-
-// BenchmarkMatMulNaive256 is the ablation baseline for DESIGN.md item 4
-// (parallel blocking vs naive triple loop).
-func BenchmarkMatMulNaive256(b *testing.B) {
-	r := rng.New(1)
-	const n = 256
-	a, bb := randMat(r, n*n), randMat(r, n*n)
-	c := make([]float32, n*n)
-	b.SetBytes(int64(2 * n * n * n * 4))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MatMulNaive(c, a, bb, n, n, n)
-	}
-}
+// The GEMM throughput benchmarks (blocked kernels, streaming baseline,
+// naive ablation) live in gemm_bench_test.go.

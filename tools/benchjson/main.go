@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark runs can be committed and
+// diffed across PRs (the perf trajectory: see `make bench`, which
+// writes BENCH_gemm.json).
+//
+// Each benchmark line becomes {name, iterations, metrics{unit: value}};
+// the surrounding goos/goarch/pkg/cpu header lines are captured as
+// top-level metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Meta    map[string]string `json:"meta"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	rep := report{Meta: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		// goos/goarch/cpu are machine-wide; pkg changes per package
+		// block when several packages are benched in one run, so it is
+		// recorded per result instead of in the shared metadata.
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Meta[key] = strings.TrimSpace(v)
+			}
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(v)
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := result{Name: fields[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in (value, unit) pairs: ns/op, MB/s,
+		// custom metrics like GFLOP/s, B/op, allocs/op.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
