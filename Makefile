@@ -1,11 +1,13 @@
-# Developer entry points for the repro tree. CI runs vet+build+test
-# (see .github/workflows/ci.yml); `make bench` records the GEMM and
-# attention kernel throughput into BENCH_gemm.json for the perf
-# trajectory across PRs.
+# Developer entry points for the repro tree. CI runs vet+build+test, a
+# -race job over the distributed layer, and the docs gate (see
+# .github/workflows/ci.yml); `make bench` records the GEMM and
+# attention kernel throughput into BENCH_gemm.json and `make
+# bench-dist` the multi-rank training throughput into BENCH_dist.json
+# for the perf trajectory across PRs.
 
 GO ?= go
 
-.PHONY: build vet test test-all bench
+.PHONY: build vet test test-all race docs bench bench-dist
 
 build:
 	$(GO) build ./...
@@ -19,9 +21,25 @@ test:
 test-all:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./internal/dist/ ./internal/train/
+
+# Docs gate: formatting, vet, and a package comment on every package.
+docs:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then echo "gofmt -l:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./tools/docgate
+
 bench:
 	$(GO) test -bench 'GEMM' -run NONE -benchtime 2s ./internal/tensor/ ./internal/nn/ > bench_gemm.out
 	@cat bench_gemm.out
 	$(GO) run ./tools/benchjson < bench_gemm.out > BENCH_gemm.json
 	@rm -f bench_gemm.out
 	@echo "wrote BENCH_gemm.json"
+
+bench-dist:
+	$(GO) test -bench DistStep -run NONE -benchtime 20x ./internal/train/ > bench_dist.out
+	@cat bench_dist.out
+	$(GO) run ./tools/benchjson < bench_dist.out > BENCH_dist.json
+	@rm -f bench_dist.out
+	@echo "wrote BENCH_dist.json"

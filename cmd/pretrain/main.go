@@ -1,9 +1,19 @@
 // Command pretrain runs MAE self-supervised pretraining of an analog
 // ViT on the procedural MillionAID corpus and writes a checkpoint.
+// With -ranks N it executes real N-rank data-parallel training over
+// in-process ring collectives (internal/dist) and reports the measured
+// communication next to the α–β model's prediction for the same calls.
 //
 // Usage:
 //
 //	pretrain -model ViT-1B -image 32 -patch 8 -epochs 20 -out vit1b.ckpt
+//	pretrain -model ViT-Base -ranks 4 -strategy zero1 -epochs 4
+//
+// -batch is the global batch size; with -ranks N each rank trains
+// batch/N samples per step. -strategy selects the synchronization
+// schedule: "ddp" (bucketed gradient all-reduce, replicated optimizer)
+// or "zero1" (reduce-scattered gradients, rank-sharded AdamW state,
+// all-gathered parameters — FSDP's SHARD_GRAD_OP).
 package main
 
 import (
@@ -22,10 +32,12 @@ func main() {
 	scale := flag.Int("scale", 10, "Table II sample-count divisor for the corpus")
 	epochs := flag.Int("epochs", 20, "pretraining epochs")
 	steps := flag.Int("steps", 40, "max steps per epoch (0 = full corpus)")
-	batch := flag.Int("batch", 16, "local batch size")
+	batch := flag.Int("batch", 16, "global batch size (split across ranks)")
 	lr := flag.Float64("lr", 0.02, "base learning rate (linear batch scaling applies)")
-	workers := flag.Int("workers", 4, "data loader workers")
+	workers := flag.Int("workers", 4, "data loader workers per rank")
 	seed := flag.Uint64("seed", 1, "master seed")
+	ranks := flag.Int("ranks", 1, "data-parallel world size (in-process ranks)")
+	strategy := flag.String("strategy", "ddp", "gradient sync for -ranks > 1: ddp | zero1")
 	out := flag.String("out", "", "checkpoint output path (optional)")
 	flag.Parse()
 
@@ -46,9 +58,33 @@ func main() {
 
 	fmt.Printf("pretraining %s (%d parameters) on %s (%d images)\n",
 		enc.Name, enc.EncoderParams(), suite.Pretrain.Name, suite.Pretrain.TrainCount)
-	res, err := geofm.Pretrain(cfg, suite.Pretrain)
-	if err != nil {
-		fatal(err)
+
+	// Resolve -strategy up front so a typo fails fast even at -ranks 1.
+	var plan geofm.Plan
+	switch *strategy {
+	case "ddp":
+		plan = geofm.DefaultDDP()
+	case "zero1":
+		plan = geofm.BestPractice(geofm.ShardGradOp, 0)
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q (want ddp or zero1)", *strategy))
+	}
+
+	var res *geofm.PretrainResult
+	if *ranks > 1 {
+		dcfg := geofm.DistPretrainConfig{PretrainConfig: cfg, Ranks: *ranks, Plan: plan}
+		fmt.Printf("executing %d ranks, %s, local batch %d\n", *ranks, plan.Name(), *batch / *ranks)
+		dres, err := geofm.PretrainDistributed(dcfg, suite.Pretrain)
+		if err != nil {
+			fatal(err)
+		}
+		printComm(dres)
+		res = &dres.PretrainResult
+	} else {
+		res, err = geofm.Pretrain(cfg, suite.Pretrain)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("done: %d steps, final loss %.4f, %.1f images/s\n",
 		res.Steps, res.LossCurve.Last(), res.ImagesPerSec)
@@ -58,6 +94,36 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *out)
+	}
+}
+
+// printComm reports each collective's executed traffic next to the α–β
+// model's accounting, plus the fsdp simulator's per-step prediction.
+func printComm(res *geofm.DistPretrainResult) {
+	steps := float64(res.Steps)
+	fmt.Printf("collective traffic (%d ranks, %d steps):\n", res.Ranks, res.Steps)
+	fmt.Printf("  %-15s %8s %14s %14s %12s\n", "op", "calls", "sent MiB/rank", "model MiB", "model time")
+	rows := []struct {
+		name string
+		s    geofm.CommOpStats
+	}{
+		{"broadcast", res.Comm.Broadcast},
+		{"all-reduce", res.Comm.AllReduce},
+		{"reduce-scatter", res.Comm.ReduceScatter},
+		{"all-gather", res.Comm.AllGather},
+	}
+	for _, r := range rows {
+		if r.s.Calls == 0 {
+			continue
+		}
+		fmt.Printf("  %-15s %8d %14.2f %14.2f %10.1fms\n", r.name, r.s.Calls,
+			r.s.MeasuredWireBytes/(1<<20), r.s.ModelWireBytes/(1<<20), r.s.ModelTime*1e3)
+	}
+	if steps > 0 {
+		fmt.Printf("  per-step bytes vs fsdp simulator: AR %.0f/%.0f  RS %.0f/%.0f  AG %.0f/%.0f\n",
+			res.Comm.AllReduce.MeasuredWireBytes/steps, res.Traffic.AllReduceBytes,
+			res.Comm.ReduceScatter.MeasuredWireBytes/steps, res.Traffic.ReduceScatterBytes,
+			res.Comm.AllGather.MeasuredWireBytes/steps, res.Traffic.AllGatherBytes)
 	}
 }
 

@@ -1,0 +1,118 @@
+package geofm_test
+
+import (
+	"fmt"
+
+	"repro/geofm"
+)
+
+// tinyEncoder returns a laptop-instant encoder configuration used by
+// the runnable examples (the Table I analogs are bigger than an example
+// needs).
+func tinyEncoder() geofm.ViTConfig {
+	return geofm.ViTConfig{Name: "tiny", Width: 16, Depth: 2, MLP: 32, Heads: 2,
+		PatchSize: 4, ImageSize: 12, Channels: 3}
+}
+
+func tinyMAE() geofm.MAEConfig {
+	return geofm.MAEConfig{Encoder: tinyEncoder(),
+		DecoderWidth: 8, DecoderDepth: 1, DecoderHeads: 2, MaskRatio: 0.75}
+}
+
+// ExampleAnalog resolves a Table I variant's laptop-trainable analog.
+func ExampleAnalog() {
+	enc, err := geofm.Analog("ViT-1B", 32, 8, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(enc.Name)
+	fmt.Println(enc.EncoderParams() > 0)
+	// Output:
+	// ViT-1B-analog
+	// true
+}
+
+// ExampleAdvise asks the Section IV-E practical guide for a sharding
+// plan.
+func ExampleAdvise() {
+	plan, _ := geofm.Advise(geofm.ViT5B, 32)
+	fmt.Println(plan.Name())
+	// Output:
+	// HYBRID_8GPUs
+}
+
+// ExampleSimulate models one ViT-3B training step on 8 Frontier nodes.
+func ExampleSimulate() {
+	res, err := geofm.Simulate(
+		geofm.ViTWorkload(geofm.ViT3B, 32),
+		geofm.Frontier(), 8,
+		geofm.BestPractice(geofm.ShardGradOp, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("world:", res.World)
+	fmt.Println("fits in HBM:", res.Fits)
+	fmt.Println("has collective calls:", res.CommCalls > 0)
+	// Output:
+	// world: 64
+	// fits in HBM: true
+	// has collective calls: true
+}
+
+// ExamplePretrain runs two real MAE pretraining steps on the
+// procedural corpus.
+func ExamplePretrain() {
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	cfg := geofm.DefaultPretrain(tinyMAE())
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8
+	res, err := geofm.Pretrain(cfg, suite.Pretrain)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("loss positive:", res.LossCurve.Last() > 0)
+	// Output:
+	// steps: 2
+	// loss positive: true
+}
+
+// ExamplePretrainDistributed trains the same recipe across two
+// in-process ranks and checks the executed collective traffic against
+// the simulator's per-step accounting.
+func ExamplePretrainDistributed() {
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	cfg := geofm.DefaultDistPretrain(tinyMAE(), 2)
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8 // global; 4 per rank
+	res, err := geofm.PretrainDistributed(cfg, suite.Pretrain)
+	if err != nil {
+		panic(err)
+	}
+	steps := float64(res.Steps)
+	fmt.Println("ranks:", res.Ranks)
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("measured == simulator accounting:",
+		res.Comm.AllReduce.MeasuredWireBytes == res.Traffic.AllReduceBytes*steps)
+	// Output:
+	// ranks: 2
+	// steps: 2
+	// measured == simulator accounting: true
+}
+
+// ExamplePredictStepTraffic prints the per-rank wire bytes one step
+// moves for a million-parameter model under DDP and ZeRO-1 on 8 ranks.
+func ExamplePredictStepTraffic() {
+	const elems = 1 << 20
+	ddp := geofm.PredictStepTraffic(geofm.DefaultDDP(), 8, elems)
+	zero1 := geofm.PredictStepTraffic(geofm.BestPractice(geofm.ShardGradOp, 0), 8, elems)
+	fmt.Println("ddp all-reduce MiB:", ddp.AllReduceBytes/(1<<20))
+	fmt.Println("zero1 reduce-scatter MiB:", zero1.ReduceScatterBytes/(1<<20))
+	fmt.Println("zero1 all-gather MiB:", zero1.AllGatherBytes/(1<<20))
+	// Output:
+	// ddp all-reduce MiB: 7
+	// zero1 reduce-scatter MiB: 3.5
+	// zero1 all-gather MiB: 3.5
+}

@@ -20,6 +20,8 @@ package geofm
 import (
 	"fmt"
 
+	"repro/internal/comm"
+	"repro/internal/dist"
 	"repro/internal/fsdp"
 	"repro/internal/geodata"
 	"repro/internal/hw"
@@ -97,6 +99,58 @@ var (
 	SaveCheckpoint = train.SaveParamsFile
 	LoadCheckpoint = train.LoadParamsFile
 )
+
+// ---- Distributed execution (real multi-rank training) ------------------
+
+// DistPretrainConfig configures real multi-rank pretraining: the
+// embedded PretrainConfig is global (BatchSize is the global batch,
+// split across Ranks), Plan selects DDP-style bucketed all-reduce or
+// ZeRO-1 (SHARD_GRAD_OP) sharded-optimizer synchronization, and Link is
+// the α–β model each executed collective is priced against.
+type DistPretrainConfig = train.DistConfig
+
+// DistPretrainResult extends PretrainResult with the world size, the
+// measured-vs-modeled collective accounting, and the per-step traffic
+// the fsdp simulator predicts for the same plan.
+type DistPretrainResult = train.DistResult
+
+// CommStats is the per-collective accounting of an executed run:
+// calls, bytes each rank actually sent around the ring, and the α–β
+// model's prediction for the same calls.
+type CommStats = dist.Stats
+
+// CommOpStats aggregates one collective kind.
+type CommOpStats = dist.OpStats
+
+// CommParams bundles link characteristics for the α–β cost model.
+type CommParams = comm.Params
+
+// DefaultDistPretrain returns the paper's pretraining recipe split
+// across ranks with the DDP baseline plan.
+func DefaultDistPretrain(m MAEConfig, ranks int) DistPretrainConfig {
+	return train.DefaultDistPretrain(m, ranks)
+}
+
+// PretrainDistributed runs MAE pretraining across in-process goroutine
+// ranks with real ring collectives (internal/dist): broadcast-
+// synchronized init, rank-sharded sampling, and per-plan gradient /
+// optimizer-state synchronization. An N-rank run reproduces the
+// single-rank Pretrain loss trajectory up to float reassociation.
+func PretrainDistributed(cfg DistPretrainConfig, ds *Dataset) (*DistPretrainResult, error) {
+	return train.PretrainDistributed(cfg, ds)
+}
+
+// StepTraffic is the per-rank wire-byte accounting of one step's
+// parameter/gradient synchronization.
+type StepTraffic = fsdp.Traffic
+
+// PredictStepTraffic returns the per-step collective bytes the Section
+// IV simulator charges for a model of paramElems parameters under the
+// plan — the numbers an executed PretrainDistributed run's measured
+// counters match exactly.
+func PredictStepTraffic(p Plan, world, paramElems int) StepTraffic {
+	return fsdp.TrafficPerStep(p, world, paramElems)
+}
 
 // ---- Datasets ----------------------------------------------------------
 
@@ -224,6 +278,10 @@ const (
 // BestPractice returns the Section IV-E recommended configuration for a
 // strategy: BACKWARD_PRE prefetch with limit_all_gathers.
 func BestPractice(s fsdp.Strategy, group int) Plan { return fsdp.BestPractice(s, group) }
+
+// DefaultDDP returns the Figure 3 DDP baseline configuration (25 MiB
+// gradient buckets, BACKWARD_POST).
+func DefaultDDP() Plan { return fsdp.DefaultDDP() }
 
 // Simulate models one training step on the machine.
 func Simulate(w Workload, m Machine, nodes int, plan Plan) (SimResult, error) {

@@ -4,6 +4,16 @@
 // delivery is strictly ordered so training runs are reproducible
 // regardless of worker count — mirroring the "4 data loader workers per
 // GPU rank" configuration in the paper's Figure 1 IO study.
+//
+// For multi-rank data-parallel training the loader doubles as a
+// DistributedSampler: with Config.ShardWorld = N, each of the N
+// seed-identical loaders builds the same shuffled order, groups it into
+// global batches of BatchSize·N samples, and delivers to its rank the
+// BatchSize-sample slice at offset ShardRank·BatchSize — so the ranks
+// exactly partition the batches a single loader with batch size
+// BatchSize·N would produce, which is what makes an N-rank run
+// reproduce the single-rank loss trajectory (see internal/train's
+// PretrainDistributed).
 package dataload
 
 import (
@@ -41,6 +51,8 @@ type Loader struct {
 	prefetch  int
 	shuffle   bool
 	dropLast  bool
+	rank      int
+	world     int
 	rng       *rng.RNG
 
 	pool sync.Pool
@@ -61,6 +73,15 @@ type Config struct {
 	// fixed-local-batch runs do.
 	DropLast bool
 	Seed     uint64
+	// ShardRank and ShardWorld shard each global batch across
+	// data-parallel ranks: with ShardWorld ranks, global batches of
+	// BatchSize·ShardWorld samples are drawn from the (seed-identical)
+	// shuffled order and this loader emits the BatchSize slice at
+	// offset ShardRank·BatchSize of each. A trailing partial global
+	// batch is always dropped when sharding (it cannot be split evenly,
+	// exactly like PyTorch's DistributedSampler with drop_last).
+	// ShardWorld ≤ 1 disables sharding.
+	ShardRank, ShardWorld int
 }
 
 // New constructs a loader over src.
@@ -76,6 +97,13 @@ func New(src Source, cfg Config) *Loader {
 	if pf < 1 {
 		pf = 2
 	}
+	world := cfg.ShardWorld
+	if world < 1 {
+		world = 1
+	}
+	if cfg.ShardRank < 0 || cfg.ShardRank >= world {
+		panic("dataload: shard rank outside world")
+	}
 	l := &Loader{
 		src:       src,
 		batchSize: cfg.BatchSize,
@@ -83,6 +111,8 @@ func New(src Source, cfg Config) *Loader {
 		prefetch:  pf,
 		shuffle:   cfg.Shuffle,
 		dropLast:  cfg.DropLast,
+		rank:      cfg.ShardRank,
+		world:     world,
 		rng:       rng.New(cfg.Seed),
 	}
 	imgLen := src.ImageLen()
@@ -96,8 +126,13 @@ func New(src Source, cfg Config) *Loader {
 	return l
 }
 
-// BatchesPerEpoch returns the number of batches an epoch yields.
+// BatchesPerEpoch returns the number of batches an epoch yields. When
+// sharded, every rank yields the same count: one batch per full global
+// batch.
 func (l *Loader) BatchesPerEpoch() int {
+	if l.world > 1 {
+		return l.src.Len() / (l.batchSize * l.world)
+	}
 	n := l.src.Len() / l.batchSize
 	if !l.dropLast && l.src.Len()%l.batchSize != 0 {
 		n++
@@ -105,7 +140,9 @@ func (l *Loader) BatchesPerEpoch() int {
 	return n
 }
 
-// Recycle returns a batch's buffers to the loader pool.
+// Recycle returns a batch's buffers to the loader pool. The batch must
+// not be touched afterwards — a loader worker may immediately reuse it
+// for an in-flight batch.
 func (l *Loader) Recycle(b *Batch) {
 	if b != nil {
 		l.pool.Put(b)
@@ -141,19 +178,27 @@ func (l *Loader) EpochN(maxBatches int) <-chan *Batch {
 	}
 
 	var jobs []*batchJob
-	for start := 0; start < n; start += l.batchSize {
+	global := l.batchSize * l.world
+	for start := 0; start < n; start += global {
 		if maxBatches > 0 && len(jobs) >= maxBatches {
 			break
 		}
-		end := start + l.batchSize
+		end := start + global
 		if end > n {
-			if l.dropLast {
+			// A partial global batch cannot be split across ranks, so
+			// sharded loaders always drop it.
+			if l.dropLast || l.world > 1 {
 				break
 			}
 			end = n
 		}
+		lo := start + l.rank*l.batchSize
+		hi := lo + l.batchSize
+		if hi > end {
+			hi = end
+		}
 		jobs = append(jobs, &batchJob{
-			indices: order[start:end],
+			indices: order[lo:hi],
 			done:    make(chan struct{}),
 		})
 	}

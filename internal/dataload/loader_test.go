@@ -242,3 +242,63 @@ func TestEpochNDrawsDifferentSubsets(t *testing.T) {
 		t.Fatal("two truncated epochs sampled identical subsets")
 	}
 }
+
+// TestShardedPartitionsGlobalBatches checks the DistributedSampler
+// contract: N sharded loaders with the same seed exactly partition the
+// batches an unsharded loader with batch size BatchSize·N yields, in
+// order, with the rank-r slice at offset r·BatchSize.
+func TestShardedPartitionsGlobalBatches(t *testing.T) {
+	const world = 4
+	const local = 4
+	src := newCountingSource(70, 2) // 70 % 16 != 0: partial global batch dropped
+	ref := New(src, Config{BatchSize: local * world, Workers: 2, Shuffle: true, DropLast: true, Seed: 9})
+	var want [][]float32
+	for b := range ref.Epoch() {
+		row := append([]float32(nil), b.Images[:b.Size*2]...)
+		want = append(want, row)
+		ref.Recycle(b)
+	}
+
+	for rank := 0; rank < world; rank++ {
+		l := New(src, Config{BatchSize: local, Workers: 2, Shuffle: true, DropLast: true,
+			Seed: 9, ShardRank: rank, ShardWorld: world})
+		if got := l.BatchesPerEpoch(); got != len(want) {
+			t.Fatalf("rank %d BatchesPerEpoch=%d want %d", rank, got, len(want))
+		}
+		g := 0
+		for b := range l.Epoch() {
+			if b.Size != local {
+				t.Fatalf("rank %d batch size %d", rank, b.Size)
+			}
+			slice := want[g][rank*local*2 : (rank+1)*local*2]
+			for j := 0; j < local*2; j++ {
+				if b.Images[j] != slice[j] {
+					t.Fatalf("rank %d global batch %d differs at %d", rank, g, j)
+				}
+			}
+			l.Recycle(b)
+			g++
+		}
+		if g != len(want) {
+			t.Fatalf("rank %d yielded %d batches, want %d", rank, g, len(want))
+		}
+	}
+}
+
+// TestShardedAlwaysDropsPartialGlobalBatch: sharding drops the ragged
+// tail even without DropLast.
+func TestShardedAlwaysDropsPartialGlobalBatch(t *testing.T) {
+	src := newCountingSource(70, 2)
+	l := New(src, Config{BatchSize: 4, Workers: 1, Seed: 3, ShardRank: 1, ShardWorld: 4})
+	n := 0
+	for b := range l.Epoch() {
+		if b.Size != 4 {
+			t.Fatalf("partial batch of %d delivered", b.Size)
+		}
+		l.Recycle(b)
+		n++
+	}
+	if n != 70/16 {
+		t.Fatalf("got %d batches, want %d", n, 70/16)
+	}
+}

@@ -1,0 +1,358 @@
+// Package dist executes real multi-rank data-parallel training inside
+// one process: a World of N goroutine "ranks" connected in a ring, with
+// working collectives on []float32 — ring AllReduce, ReduceScatter and
+// AllGather, a pipelined ring Broadcast, a Barrier, and a float64
+// scalar all-reduce for control values (loss averaging, global gradient
+// norms).
+//
+// Where internal/comm *models* the cost of a collective and
+// internal/fsdp *simulates* a training step's schedule, this package
+// *runs* the collectives: the same ring algorithms RCCL executes on
+// Frontier, implemented over per-edge Go channels. Every buffer element
+// a rank puts on the "wire" (sends to its ring successor) is counted,
+// and every call is simultaneously priced by the α–β model of
+// internal/comm for the same byte count and world size — so measured
+// and modeled communication live side by side in one Stats report, and
+// tests can hold the simulator's accounting to what an execution
+// actually moved.
+//
+// # Ranks and synchronization
+//
+// World.Run spawns one goroutine per rank and executes the same
+// function on each (the SPMD convention). Collective calls are
+// synchronization points: every rank of the world must call the same
+// collectives in the same order with the same buffer lengths, exactly
+// like an MPI or NCCL program. The collectives are zero-copy — ranks
+// exchange read-only views of their buffers around the ring, and a
+// per-step acknowledgement handshake guarantees a sender never rewrites
+// a chunk a neighbour is still reading — so a collective moves no bytes
+// beyond what the ring algorithm itself requires.
+//
+// # Accounting
+//
+// For a vector of V bytes over n ranks the ring algorithms put on each
+// rank's outgoing link exactly the textbook volumes that internal/comm
+// prices:
+//
+//	reduce-scatter / all-gather:  (n−1)/n · V
+//	all-reduce:                   2(n−1)/n · V
+//	broadcast:                    V   (ranks 0..n−2 each forward V)
+//
+// AllReduce, ReduceScatter and AllGather require len(buf) to be a
+// multiple of the world size so chunks are uniform and the measured
+// volume matches the model exactly; callers pad (see opt.PadTo).
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/hw"
+)
+
+// Options configures a World.
+type Options struct {
+	// Link is the α–β link model used to price each collective call
+	// (measured vs modeled in Stats). A zero Link defaults to
+	// DefaultLink(n).
+	Link comm.Params
+}
+
+// DefaultLink returns the modeled link for an n-rank group co-located
+// on one Frontier node (the layout an in-process world most resembles):
+// Infinity Fabric bandwidth and intra-node hop latency from hw.Frontier.
+func DefaultLink(n int) comm.Params {
+	m := hw.Frontier()
+	rpn := n
+	if rpn > m.GPUsPerNode {
+		rpn = m.GPUsPerNode
+	}
+	if rpn < 1 {
+		rpn = 1
+	}
+	bw, lat, chunk := m.GroupBandwidth(n, rpn, m.GPUsPerNode)
+	return comm.Params{Bandwidth: bw, HopLat: lat, Launch: m.CollectiveLaunch, ChunkOverheadBytes: chunk}
+}
+
+// Op identifies a collective kind in Stats.
+type Op int
+
+// Collective kinds.
+const (
+	OpAllReduce Op = iota
+	OpReduceScatter
+	OpAllGather
+	OpBroadcast
+	OpScalar // float64 control-plane reductions (loss, grad norms)
+	numOps
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpAllReduce:
+		return "all-reduce"
+	case OpReduceScatter:
+		return "reduce-scatter"
+	case OpAllGather:
+		return "all-gather"
+	case OpBroadcast:
+		return "broadcast"
+	case OpScalar:
+		return "scalar"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// OpStats aggregates one collective kind over a World's lifetime.
+type OpStats struct {
+	// Calls is how many times the collective ran.
+	Calls int
+	// MeasuredWireBytes is the per-rank outgoing traffic actually sent
+	// around the ring (maximum over ranks; symmetric collectives send
+	// the same from every rank).
+	MeasuredWireBytes float64
+	// ModelWireBytes is what the α–β model (internal/comm) accounts for
+	// the same calls.
+	ModelWireBytes float64
+	// ModelTime is the α–β predicted total duration (seconds) on the
+	// configured link.
+	ModelTime float64
+	// WallTime is the measured in-process duration (seconds, rank 0).
+	// In-process channel hops are not a GPU fabric; WallTime is
+	// reported for completeness, the byte counters are the quantities
+	// tests pin down.
+	WallTime float64
+}
+
+// Stats is the per-op accounting of a World.
+type Stats struct {
+	World         int
+	AllReduce     OpStats
+	ReduceScatter OpStats
+	AllGather     OpStats
+	Broadcast     OpStats
+	Scalar        OpStats
+}
+
+// ByOp returns the stats entry for op.
+func (s Stats) ByOp(o Op) OpStats {
+	switch o {
+	case OpAllReduce:
+		return s.AllReduce
+	case OpReduceScatter:
+		return s.ReduceScatter
+	case OpAllGather:
+		return s.AllGather
+	case OpBroadcast:
+		return s.Broadcast
+	default:
+		return s.Scalar
+	}
+}
+
+// World is a set of in-process ranks joined by ring channels.
+type World struct {
+	n    int
+	link comm.Params
+
+	ranks []*Rank
+
+	// data[i] carries views from rank i to rank (i+1)%n; ack[i] carries
+	// the matching consumption acknowledgements back from (i+1)%n to i.
+	data []chan []float32
+	ack  []chan struct{}
+
+	bar     barrier
+	scalars []float64
+
+	// abort is closed when a rank dies mid-run so peers parked in a
+	// collective unblock (with ErrAborted) instead of deadlocking.
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	// model accounting, written by rank 0 only (collectives order all
+	// ranks, so rank 0's view is the world's view).
+	calls     [numOps]int
+	modelB    [numOps]float64
+	modelT    [numOps]float64
+	wall      [numOps]float64
+	statsOnce sync.Mutex // guards Stats() against torn reads mid-run
+}
+
+// New creates an n-rank world. n must be ≥ 1.
+func New(n int, opts Options) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("dist: world size %d", n))
+	}
+	link := opts.Link
+	if link.Bandwidth <= 0 {
+		link = DefaultLink(n)
+	}
+	w := &World{
+		n:       n,
+		link:    link,
+		data:    make([]chan []float32, n),
+		ack:     make([]chan struct{}, n),
+		scalars: make([]float64, n),
+		abort:   make(chan struct{}),
+	}
+	w.bar.init(n)
+	for i := 0; i < n; i++ {
+		w.data[i] = make(chan []float32, 1)
+		w.ack[i] = make(chan struct{}, 1)
+		w.ranks = append(w.ranks, &Rank{w: w, id: i})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// ErrAborted is the error a rank observes when a peer died (panicked
+// or returned an error) while it was parked in a collective. The
+// originating rank's own error is what Run returns.
+var ErrAborted = errors.New("dist: world aborted by a peer rank's failure")
+
+// Run executes fn once per rank, each on its own goroutine, and waits
+// for all of them. fn must keep the sequence of collective calls
+// aligned across ranks. A rank that panics or returns an error aborts
+// the world: peers parked in a collective unblock with ErrAborted
+// (re-raised as a panic inside the collective and recovered here), and
+// Run returns the originating rank's error. A World that aborted must
+// not be reused.
+func (w *World) Run(fn func(r *Rank) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for i := 0; i < w.n; i++ {
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, ErrAborted) {
+						errs[r.id] = ErrAborted
+					} else {
+						errs[r.id] = fmt.Errorf("dist: rank %d panicked: %v", r.id, p)
+					}
+					w.doAbort()
+				} else if errs[r.id] != nil {
+					w.doAbort()
+				}
+			}()
+			errs[r.id] = fn(r)
+		}(w.ranks[i])
+	}
+	wg.Wait()
+	// Prefer the originating failure over the secondary ErrAborted ones.
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAborted) {
+			aborted = err
+			continue
+		}
+		return err
+	}
+	return aborted
+}
+
+// doAbort poisons the world: blocked collectives and barriers unblock
+// with ErrAborted.
+func (w *World) doAbort() {
+	w.abortOnce.Do(func() {
+		close(w.abort)
+		w.bar.doAbort()
+	})
+}
+
+// Stats returns the accumulated measured-vs-modeled accounting. Call it
+// after Run returns (or between Runs); per-rank byte counters are
+// folded in at read time.
+func (w *World) Stats() Stats {
+	w.statsOnce.Lock()
+	defer w.statsOnce.Unlock()
+	s := Stats{World: w.n}
+	fill := func(o Op) OpStats {
+		var maxSent float64
+		for _, r := range w.ranks {
+			if b := float64(r.sentBytes[o]); b > maxSent {
+				maxSent = b
+			}
+		}
+		return OpStats{
+			Calls:             w.calls[o],
+			MeasuredWireBytes: maxSent,
+			ModelWireBytes:    w.modelB[o],
+			ModelTime:         w.modelT[o],
+			WallTime:          w.wall[o],
+		}
+	}
+	s.AllReduce = fill(OpAllReduce)
+	s.ReduceScatter = fill(OpReduceScatter)
+	s.AllGather = fill(OpAllGather)
+	s.Broadcast = fill(OpBroadcast)
+	s.Scalar = fill(OpScalar)
+	return s
+}
+
+// record is called by rank 0 on collective entry/exit to accumulate the
+// modeled cost and wall time of one call.
+func (w *World) record(o Op, c comm.Cost, wall time.Duration) {
+	w.statsOnce.Lock()
+	w.calls[o]++
+	w.modelB[o] += c.WireBytes
+	w.modelT[o] += c.Time
+	w.wall[o] += wall.Seconds()
+	w.statsOnce.Unlock()
+}
+
+// barrier is a reusable sense-reversing barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     uint64
+	aborted bool
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(ErrAborted)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+		if b.aborted {
+			panic(ErrAborted)
+		}
+	}
+}
+
+func (b *barrier) doAbort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+package fsdp
+
+// Traffic is the per-rank wire-byte accounting of one optimizer step's
+// parameter/gradient synchronization — the quantities the discrete-
+// event simulator charges to the communication stream, exposed in
+// closed form so the real execution layer (internal/dist driven by
+// internal/train.PretrainDistributed) can be held to the same numbers:
+// a test asserts the bytes each rank *actually sent* around the ring
+// equal this prediction exactly.
+type Traffic struct {
+	// AllReduceBytes is the gradient all-reduce volume (DDP-style
+	// replicated strategies).
+	AllReduceBytes float64
+	// ReduceScatterBytes is the gradient reduce-scatter volume (sharded
+	// strategies).
+	ReduceScatterBytes float64
+	// AllGatherBytes is the parameter all-gather volume (sharded
+	// strategies re-assembling updated parameters, plus the forward /
+	// backward re-gathers of FULL_SHARD).
+	AllGatherBytes float64
+}
+
+// Total sums all per-step collective traffic.
+func (t Traffic) Total() float64 {
+	return t.AllReduceBytes + t.ReduceScatterBytes + t.AllGatherBytes
+}
+
+// TrafficPerStep returns the per-rank bytes one training step puts on
+// the wire for a model of paramElems float32 parameters under plan p on
+// a world of the given size, using the ring-algorithm volumes of
+// internal/comm:
+//
+//	reduce-scatter / all-gather:  (n−1)/n · V
+//	all-reduce:                   2(n−1)/n · V
+//
+// The element count is padded up to a multiple of the collective group
+// so chunks are uniform — the same padding the executed collectives in
+// internal/dist require — which is why measured and predicted bytes can
+// agree exactly rather than approximately.
+//
+// Strategy mapping (matching both Simulate's schedule and the executed
+// PretrainDistributed paths):
+//
+//	DDP, NO_SHARD, HYBRID_1GPU — gradients all-reduced across the world
+//	   (bucketing splits calls but not volume);
+//	SHARD_GRAD_OP — ZeRO-1: gradients reduce-scattered, updated
+//	   parameters all-gathered once per step;
+//	FULL_SHARD — as SHARD_GRAD_OP plus a second parameter all-gather
+//	   (params are re-gathered in backward after resharding);
+//	HYBRID_kGPUs (k>1) — FULL_SHARD volumes within the k-rank group,
+//	   plus a gradient-shard all-reduce across the world/k replicas.
+func TrafficPerStep(p Plan, world, paramElems int) Traffic {
+	var t Traffic
+	if world <= 1 || paramElems <= 0 {
+		return t
+	}
+	const elemBytes = 4
+	ringFrac := func(n int) float64 { return float64(n-1) / float64(n) }
+	pad := func(n, group int) float64 { return float64((n + group - 1) / group * group) }
+
+	switch p.Strategy {
+	case DDP, NoShard:
+		t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * elemBytes
+	case ShardGradOp:
+		v := pad(paramElems, world) * elemBytes
+		t.ReduceScatterBytes = ringFrac(world) * v
+		t.AllGatherBytes = ringFrac(world) * v
+	case FullShard:
+		v := pad(paramElems, world) * elemBytes
+		t.ReduceScatterBytes = ringFrac(world) * v
+		t.AllGatherBytes = 2 * ringFrac(world) * v
+	case HybridShard:
+		g := p.GroupSize
+		if g <= 1 {
+			t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * elemBytes
+			break
+		}
+		v := pad(paramElems, g) * elemBytes
+		t.ReduceScatterBytes = ringFrac(g) * v
+		t.AllGatherBytes = 2 * ringFrac(g) * v
+		if repl := world / g; repl > 1 {
+			t.AllReduceBytes = 2 * ringFrac(repl) * (v / float64(g))
+		}
+	}
+	return t
+}

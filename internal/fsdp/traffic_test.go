@@ -1,0 +1,82 @@
+package fsdp
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// TestTrafficMatchesCommModel holds TrafficPerStep to the WireBytes the
+// α–β cost model accounts for the equivalent collective calls.
+func TestTrafficMatchesCommModel(t *testing.T) {
+	p := comm.Params{Bandwidth: 50e9}
+	const elems = 1 << 20 // divisible by every world below: no padding
+	bytes := float64(elems * 4)
+	for _, world := range []int{2, 4, 8} {
+		ddp := TrafficPerStep(DefaultDDP(), world, elems)
+		if want := comm.AllReduce(bytes, world, p).WireBytes; ddp.AllReduceBytes != want {
+			t.Errorf("DDP world=%d: %v, comm model %v", world, ddp.AllReduceBytes, want)
+		}
+		if ddp.ReduceScatterBytes != 0 || ddp.AllGatherBytes != 0 {
+			t.Errorf("DDP world=%d: unexpected sharded traffic %+v", world, ddp)
+		}
+
+		zero1 := TrafficPerStep(BestPractice(ShardGradOp, 0), world, elems)
+		if want := comm.ReduceScatter(bytes, world, p).WireBytes; zero1.ReduceScatterBytes != want {
+			t.Errorf("ZeRO-1 world=%d RS: %v, comm model %v", world, zero1.ReduceScatterBytes, want)
+		}
+		if want := comm.AllGather(bytes, world, p).WireBytes; zero1.AllGatherBytes != want {
+			t.Errorf("ZeRO-1 world=%d AG: %v, comm model %v", world, zero1.AllGatherBytes, want)
+		}
+
+		full := TrafficPerStep(BestPractice(FullShard, 0), world, elems)
+		if full.AllGatherBytes != 2*zero1.AllGatherBytes {
+			t.Errorf("FULL_SHARD world=%d: AG %v, want twice SHARD_GRAD_OP's %v",
+				world, full.AllGatherBytes, zero1.AllGatherBytes)
+		}
+	}
+}
+
+// TestTrafficPadding: a non-divisible parameter count is padded to the
+// collective group, matching internal/dist's uniform-chunk requirement.
+func TestTrafficPadding(t *testing.T) {
+	const world = 4
+	tr := TrafficPerStep(DefaultDDP(), world, 10)
+	want := 2.0 * 3 / 4 * 12 * 4 // pad 10 → 12 elems
+	if tr.AllReduceBytes != want {
+		t.Fatalf("padded DDP traffic %v, want %v", tr.AllReduceBytes, want)
+	}
+}
+
+// TestTrafficHybrid: group collectives plus replica all-reduce.
+func TestTrafficHybrid(t *testing.T) {
+	plan := BestPractice(HybridShard, 4)
+	const world, elems = 8, 1 << 10
+	tr := TrafficPerStep(plan, world, elems)
+	bytes := float64(elems * 4)
+	if want := 3.0 / 4 * bytes; tr.ReduceScatterBytes != want {
+		t.Errorf("hybrid RS %v want %v", tr.ReduceScatterBytes, want)
+	}
+	if want := 2 * 3.0 / 4 * bytes; tr.AllGatherBytes != want {
+		t.Errorf("hybrid AG %v want %v", tr.AllGatherBytes, want)
+	}
+	if want := 2 * 1.0 / 2 * bytes / 4; tr.AllReduceBytes != want {
+		t.Errorf("hybrid replica AR %v want %v", tr.AllReduceBytes, want)
+	}
+	// HYBRID_1GPU degenerates to the DDP volume.
+	h1 := TrafficPerStep(BestPractice(HybridShard, 1), world, elems)
+	ddp := TrafficPerStep(DefaultDDP(), world, elems)
+	if h1 != ddp {
+		t.Errorf("HYBRID_1GPU %+v != DDP %+v", h1, ddp)
+	}
+}
+
+// TestTrafficDegenerate: one rank or no params moves nothing.
+func TestTrafficDegenerate(t *testing.T) {
+	if tr := TrafficPerStep(DefaultDDP(), 1, 100); tr.Total() != 0 {
+		t.Fatalf("world=1 traffic %v", tr.Total())
+	}
+	if tr := TrafficPerStep(DefaultDDP(), 8, 0); tr.Total() != 0 {
+		t.Fatalf("zero params traffic %v", tr.Total())
+	}
+}

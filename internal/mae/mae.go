@@ -204,6 +204,46 @@ func (m *Model) sampleMask(batch int) {
 	}
 }
 
+// DrawMasks advances the model's private mask stream by one batch and
+// returns the per-image visible-token index lists (sorted), without
+// running the model. It consumes the stream exactly as one Step(·,
+// batch) call would, which is what multi-rank data-parallel training
+// relies on: every rank holds a seed-identical replica, draws the masks
+// for the whole global batch, and keeps only its local slice (via
+// StepWithMask) — so the mask sequence, and hence the loss trajectory,
+// matches the single-rank run.
+func (m *Model) DrawMasks(batch int) [][]int {
+	return m.DrawMasksRange(batch, 0, batch)
+}
+
+// DrawMasksRange is DrawMasks restricted to images [lo, hi) of the
+// batch: the mask stream is still advanced for all batch images (so
+// rank streams stay aligned), but only the requested slice is
+// materialized and sorted — what each data-parallel rank calls with its
+// own slice of the global batch.
+func (m *Model) DrawMasksRange(batch, lo, hi int) [][]int {
+	if lo < 0 || hi < lo || hi > batch {
+		panic(fmt.Sprintf("mae: mask range [%d, %d) outside batch %d", lo, hi, batch))
+	}
+	t := m.Cfg.Encoder.Tokens()
+	keep := m.Cfg.KeepTokens()
+	scratch := make([]int, t)
+	out := make([][]int, hi-lo)
+	for b := 0; b < batch; b++ {
+		for i := range scratch {
+			scratch[i] = i
+		}
+		m.maskRNG.Shuffle(scratch) // same draws as sampleMask's Perm
+		if b < lo || b >= hi {
+			continue
+		}
+		kept := append([]int(nil), scratch[:keep]...)
+		insertionSort(kept)
+		out[b-lo] = kept
+	}
+	return out
+}
+
 // SetMask overrides the random mask with explicit per-image visible
 // indices; used by tests for reproducible gradient checks.
 func (m *Model) SetMask(keep [][]int) {

@@ -309,3 +309,32 @@ func TestFineTuneGradientFlowsToEncoder(t *testing.T) {
 		t.Fatal("no gradient reached the encoder")
 	}
 }
+
+// TestDrawMasksTracksStep: DrawMasks must consume the mask stream
+// exactly as Step does, and return the same visible sets — the contract
+// multi-rank training uses to keep rank mask streams in lock-step with
+// the single-rank run.
+func TestDrawMasksTracksStep(t *testing.T) {
+	cfg := tinyCfg()
+	a := New(cfg, rng.New(4))
+	b := New(cfg, rng.New(4))
+	imgs := make([]float32, 3*cfg.Encoder.ImageSize*cfg.Encoder.ImageSize*cfg.Encoder.Channels)
+	rng.New(5).FillUniform(imgs, 0, 1)
+
+	for round := 0; round < 3; round++ {
+		a.Step(imgs, 3)
+		keep := b.DrawMasks(3)
+		for i := range keep {
+			if len(keep[i]) != len(a.keepIdx[i]) {
+				t.Fatalf("round %d image %d: keep count %d vs %d", round, i, len(keep[i]), len(a.keepIdx[i]))
+			}
+			for j := range keep[i] {
+				if keep[i][j] != a.keepIdx[i][j] {
+					t.Fatalf("round %d image %d: masks diverge at %d", round, i, j)
+				}
+			}
+		}
+		// b's stream must stay aligned for the next round even though b
+		// never runs forward.
+	}
+}

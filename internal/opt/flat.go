@@ -1,0 +1,160 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// This file provides the flat-tensor view of a parameter set that the
+// distributed training path (internal/train.PretrainDistributed over
+// internal/dist) shards collectives and optimizer state on: parameters
+// and gradients are packed into one contiguous []float32 in parameter
+// order, padded so the flat length divides evenly across ranks, and a
+// ShardedAdamW instance owns the Adam moments for just one rank's
+// contiguous shard — the ZeRO-1 partitioning of optimizer state.
+
+// FlatDim returns the total element count across params — the length
+// of the packed flat vector before padding.
+func FlatDim(params []*nn.Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.NumEl()
+	}
+	return n
+}
+
+// PadTo rounds n up to the next multiple of world, the length a flat
+// buffer must have for uniform ring collectives (internal/dist requires
+// collective buffers divisible by the world size).
+func PadTo(n, world int) int {
+	if world <= 1 {
+		return n
+	}
+	return (n + world - 1) / world * world
+}
+
+// PackGrads copies every parameter's gradient into dst in parameter
+// order. len(dst) must be at least FlatDim; elements beyond the packed
+// region are left untouched (a padded tail stays zero if it started
+// zero, which keeps ring reductions over the pad exact).
+func PackGrads(dst []float32, params []*nn.Param) {
+	packTensors(dst, params, func(p *nn.Param) []float32 { return p.Grad.Data })
+}
+
+// UnpackGrads copies the packed flat gradient back into every
+// parameter's gradient tensor.
+func UnpackGrads(params []*nn.Param, src []float32) {
+	unpackTensors(src, params, func(p *nn.Param) []float32 { return p.Grad.Data })
+}
+
+// PackValues copies every parameter's value into dst in parameter
+// order.
+func PackValues(dst []float32, params []*nn.Param) {
+	packTensors(dst, params, func(p *nn.Param) []float32 { return p.Value.Data })
+}
+
+// UnpackValues copies the packed flat values back into every
+// parameter's value tensor.
+func UnpackValues(params []*nn.Param, src []float32) {
+	unpackTensors(src, params, func(p *nn.Param) []float32 { return p.Value.Data })
+}
+
+func packTensors(dst []float32, params []*nn.Param, field func(*nn.Param) []float32) {
+	off := 0
+	for _, p := range params {
+		d := field(p)
+		if off+len(d) > len(dst) {
+			panic(fmt.Sprintf("opt: flat buffer length %d < FlatDim %d", len(dst), FlatDim(params)))
+		}
+		copy(dst[off:], d)
+		off += len(d)
+	}
+}
+
+func unpackTensors(src []float32, params []*nn.Param, field func(*nn.Param) []float32) {
+	off := 0
+	for _, p := range params {
+		d := field(p)
+		if off+len(d) > len(src) {
+			panic(fmt.Sprintf("opt: flat buffer length %d < FlatDim %d", len(src), FlatDim(params)))
+		}
+		copy(d, src[off:off+len(d)])
+		off += len(d)
+	}
+}
+
+// ShardedAdamW is AdamW restricted to one contiguous shard [Lo, Hi) of
+// the flat parameter space — the ZeRO-1 optimizer: each rank holds the
+// first and second Adam moments only for its own shard, updates only
+// that slice of the flat weights, and the ranks' updated shards are
+// re-assembled with an all-gather. The update arithmetic is identical,
+// element for element, to AdamW.Step, including the per-parameter
+// NoWeightDecay exclusions (captured at construction as a 0/1 decay
+// mask over the shard) and the shared step count for bias correction.
+type ShardedAdamW struct {
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	// Lo and Hi bound the shard in flat coordinates. Hi may extend past
+	// FlatDim into padding; pad elements carry a zero decay mask and
+	// zero gradients, so they stay zero.
+	Lo, Hi int
+
+	m, v  []float32
+	decay []float32 // 1 where decoupled weight decay applies, else 0
+	t     int
+}
+
+// NewShardedAdamW constructs the shard optimizer for flat range
+// [lo, hi) over params, with the same hyper-parameters as NewAdamW
+// (β₁=0.9, β₂=0.95, ε=1e-8).
+func NewShardedAdamW(params []*nn.Param, weightDecay float64, lo, hi int) *ShardedAdamW {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("opt: sharded adamw range [%d, %d)", lo, hi))
+	}
+	a := &ShardedAdamW{
+		Beta1: adamwBeta1, Beta2: adamwBeta2, Eps: adamwEps,
+		WeightDecay: weightDecay,
+		Lo:          lo, Hi: hi,
+		m:     make([]float32, hi-lo),
+		v:     make([]float32, hi-lo),
+		decay: make([]float32, hi-lo),
+	}
+	off := 0
+	for _, p := range params {
+		n := p.NumEl()
+		if !p.NoWeightDecay {
+			// Mark the overlap of [off, off+n) with [lo, hi).
+			s, e := max(off, lo), min(off+n, hi)
+			for i := s; i < e; i++ {
+				a.decay[i-lo] = 1
+			}
+		}
+		off += n
+	}
+	return a
+}
+
+// StepCount returns how many updates have been applied.
+func (a *ShardedAdamW) StepCount() int { return a.t }
+
+// SetStep overrides the step counter (resuming from a checkpoint).
+func (a *ShardedAdamW) SetStep(t int) { a.t = t }
+
+// Step applies one AdamW update to the shard: w and g are the [Lo, Hi)
+// slices of the flat weight and (already averaged) flat gradient.
+func (a *ShardedAdamW) Step(lr float64, w, g []float32) {
+	if len(w) != a.Hi-a.Lo || len(g) != a.Hi-a.Lo {
+		panic(fmt.Sprintf("opt: sharded adamw got %d weights / %d grads for shard of %d",
+			len(w), len(g), a.Hi-a.Lo))
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	adamwApply(w, g, a.m, a.v,
+		float32(a.Beta1), float32(a.Beta2), bc1, bc2, lr, a.Eps,
+		float32(lr*a.WeightDecay), a.decay)
+}

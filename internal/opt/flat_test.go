@@ -1,0 +1,126 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func randParams(r *rng.RNG) []*nn.Param {
+	shapes := [][]int{{3, 5}, {7}, {2, 2, 2}, {11}}
+	var ps []*nn.Param
+	for i, s := range shapes {
+		p := nn.NewParam("p", s...)
+		r.FillUniform(p.Value.Data, -1, 1)
+		r.FillUniform(p.Grad.Data, -0.1, 0.1)
+		if i%2 == 1 {
+			p.NoWeightDecay = true
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	ps := randParams(r)
+	dim := FlatDim(ps)
+	if want := 15 + 7 + 8 + 11; dim != want {
+		t.Fatalf("FlatDim=%d want %d", dim, want)
+	}
+	flat := make([]float32, PadTo(dim, 4))
+	PackValues(flat, ps)
+	// Mutate the params, then restore from the flat copy.
+	orig := append([]float32(nil), flat[:dim]...)
+	for _, p := range ps {
+		for i := range p.Value.Data {
+			p.Value.Data[i] = -99
+		}
+	}
+	UnpackValues(ps, flat)
+	check := make([]float32, dim)
+	PackValues(check, ps)
+	for i := range check {
+		if check[i] != orig[i] {
+			t.Fatalf("value round trip differs at %d", i)
+		}
+	}
+
+	PackGrads(flat, ps)
+	g0 := ps[0].Grad.Data[0]
+	ps[0].Grad.Data[0] = 1234
+	UnpackGrads(ps, flat)
+	if ps[0].Grad.Data[0] != g0 {
+		t.Fatalf("grad round trip differs")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	cases := []struct{ n, world, want int }{
+		{10, 1, 10}, {10, 4, 12}, {12, 4, 12}, {0, 4, 0}, {1, 8, 8},
+	}
+	for _, c := range cases {
+		if got := PadTo(c.n, c.world); got != c.want {
+			t.Fatalf("PadTo(%d,%d)=%d want %d", c.n, c.world, got, c.want)
+		}
+	}
+}
+
+// TestShardedAdamWMatchesAdamW drives AdamW and a set of ShardedAdamW
+// instances covering the flat space with identical gradients and checks
+// the resulting weights are bit-identical — the ZeRO-1 invariant that
+// sharding optimizer state must not change the update.
+func TestShardedAdamWMatchesAdamW(t *testing.T) {
+	const world = 4
+	const steps = 5
+	const wd = 0.05
+
+	ref := randParams(rng.New(17))
+	shard := randParams(rng.New(17)) // identical initial state
+
+	refOpt := NewAdamW(ref, wd)
+
+	dim := FlatDim(shard)
+	padded := PadTo(dim, world)
+	flatW := make([]float32, padded)
+	flatG := make([]float32, padded)
+	PackValues(flatW, shard)
+	shardLen := padded / world
+	var opts []*ShardedAdamW
+	for k := 0; k < world; k++ {
+		opts = append(opts, NewShardedAdamW(shard, wd, k*shardLen, (k+1)*shardLen))
+	}
+
+	r := rng.New(23)
+	for s := 0; s < steps; s++ {
+		// Fresh identical gradients on both sides.
+		for i, p := range ref {
+			r.FillUniform(p.Grad.Data, -0.2, 0.2)
+			copy(shard[i].Grad.Data, p.Grad.Data)
+		}
+		lr := 0.01 * float64(s+1)
+		refOpt.Step(lr)
+
+		PackGrads(flatG, shard)
+		for k, o := range opts {
+			lo, hi := k*shardLen, (k+1)*shardLen
+			o.Step(lr, flatW[lo:hi], flatG[lo:hi])
+		}
+	}
+	UnpackValues(shard, flatW)
+	for i := range ref {
+		for j := range ref[i].Value.Data {
+			if ref[i].Value.Data[j] != shard[i].Value.Data[j] {
+				t.Fatalf("param %d elem %d: AdamW %v, sharded %v",
+					i, j, ref[i].Value.Data[j], shard[i].Value.Data[j])
+			}
+		}
+	}
+	// Padding must have stayed zero.
+	for i := dim; i < padded; i++ {
+		if flatW[i] != 0 {
+			t.Fatalf("pad element %d became %v", i, flatW[i])
+		}
+	}
+}

@@ -34,11 +34,42 @@ type AdamW struct {
 	t      int
 }
 
+// The paper's Adam hyper-parameters (β₁, β₂ as in MAE, ε), shared by
+// the replicated and the ZeRO-1 sharded optimizer so the two paths
+// cannot drift.
+const (
+	adamwBeta1 = 0.9
+	adamwBeta2 = 0.95
+	adamwEps   = 1e-8
+)
+
+// adamwApply runs the AdamW update over one contiguous slice: w, g and
+// the moment buffers m, v advance together. decay is the uniform
+// decoupled-decay factor lr·λ (already zero for NoWeightDecay
+// tensors); mask, when non-nil, scales decay per element (the sharded
+// optimizer's 0/1 mask over its flat shard). Both AdamW.Step and
+// ShardedAdamW.Step are thin wrappers over this kernel, which keeps
+// their arithmetic bit-identical.
+func adamwApply(w, g, m, v []float32, b1, b2 float32, bc1, bc2, lr, eps float64, decay float32, mask []float32) {
+	for i := range w {
+		gi := g[i]
+		m[i] = b1*m[i] + (1-b1)*gi
+		v[i] = b2*v[i] + (1-b2)*gi*gi
+		mhat := float64(m[i]) / bc1
+		vhat := float64(v[i]) / bc2
+		d := decay
+		if mask != nil {
+			d = decay * mask[i]
+		}
+		w[i] -= float32(lr*mhat/(math.Sqrt(vhat)+eps)) + d*w[i]
+	}
+}
+
 // NewAdamW constructs AdamW with the paper's hyper-parameters
 // (β₁=0.9, β₂=0.95 as in MAE, ε=1e-8) and the given weight decay.
 func NewAdamW(params []*nn.Param, weightDecay float64) *AdamW {
 	a := &AdamW{
-		Beta1: 0.9, Beta2: 0.95, Eps: 1e-8,
+		Beta1: adamwBeta1, Beta2: adamwBeta2, Eps: adamwEps,
 		WeightDecay: weightDecay,
 		params:      params,
 	}
@@ -60,23 +91,14 @@ func (a *AdamW) Step(lr float64) {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
 	for pi, p := range a.params {
-		m, v := a.m[pi], a.v[pi]
-		w := p.Value.Data
-		g := p.Grad.Data
 		decay := float32(lr * a.WeightDecay)
 		if p.NoWeightDecay {
 			decay = 0
 		}
-		b1, b2 := float32(a.Beta1), float32(a.Beta2)
-		for i := range w {
-			gi := g[i]
-			m[i] = b1*m[i] + (1-b1)*gi
-			v[i] = b2*v[i] + (1-b2)*gi*gi
-			mhat := float64(m[i]) / bc1
-			vhat := float64(v[i]) / bc2
-			w[i] -= float32(lr*mhat/(math.Sqrt(vhat)+a.Eps)) + decay*w[i]
-		}
+		adamwApply(p.Value.Data, p.Grad.Data, a.m[pi], a.v[pi],
+			b1, b2, bc1, bc2, lr, a.Eps, decay, nil)
 	}
 }
 

@@ -1,0 +1,37 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fsdp"
+)
+
+// BenchmarkDistStep measures whole training steps per second versus
+// world size at a fixed global batch (strong scaling of the in-process
+// execution layer). Recorded into BENCH_dist.json by `make bench-dist`
+// for the cross-PR perf trajectory.
+func BenchmarkDistStep(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4} {
+		for _, plan := range []fsdp.Plan{fsdp.DefaultDDP(), fsdp.BestPractice(fsdp.ShardGradOp, 0)} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", plan.Name(), ranks), func(b *testing.B) {
+				cfg := tinyDistConfig(ranks, plan)
+				cfg.BatchSize = 16
+				cfg.Epochs = 1
+				cfg.MaxStepsPerEpoch = b.N
+				ds := tinyDataset(16 * (b.N + 1))
+				b.ResetTimer()
+				res, err := PretrainDistributed(cfg, ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if res.Steps != b.N {
+					b.Fatalf("ran %d steps for b.N=%d", res.Steps, b.N)
+				}
+				b.ReportMetric(float64(res.Steps)/b.Elapsed().Seconds(), "steps/s")
+				b.ReportMetric(res.ImagesPerSec, "images/s")
+			})
+		}
+	}
+}

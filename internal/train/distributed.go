@@ -1,0 +1,300 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dataload"
+	"repro/internal/dist"
+	"repro/internal/fsdp"
+	"repro/internal/geodata"
+	"repro/internal/mae"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// DistConfig configures real multi-rank pretraining over internal/dist.
+// The embedded PretrainConfig is interpreted globally: BatchSize is the
+// global batch (split evenly across ranks), and the learning-rate
+// schedule, epochs and clipping act exactly as in the single-rank
+// Pretrain — an N-rank run reproduces the single-rank loss trajectory
+// up to the floating-point reassociation of the ring reductions.
+type DistConfig struct {
+	PretrainConfig
+	// Ranks is the data-parallel world size (in-process goroutine
+	// ranks). BatchSize must divide evenly by Ranks.
+	Ranks int
+	// Plan selects the gradient/optimizer synchronization strategy:
+	//
+	//	DDP, NO_SHARD, HYBRID_1GPU — replicated optimizer; gradients
+	//	    all-reduced (DDP in fixed-size buckets of DDPBucketBytes)
+	//	SHARD_GRAD_OP — ZeRO-1: gradients reduce-scattered, AdamW state
+	//	    sharded per rank, updated parameters all-gathered
+	//
+	// FULL_SHARD and HYBRID_kGPUs (k>1) reshard parameters inside
+	// forward/backward, which the in-process executor does not do; they
+	// are rejected. The zero value defaults to fsdp.DefaultDDP().
+	Plan fsdp.Plan
+	// Link is the α–β link model used to price each executed collective
+	// (dist.Stats measured vs modeled). Zero defaults to
+	// dist.DefaultLink(Ranks).
+	Link comm.Params
+}
+
+// DefaultDistPretrain returns the paper's recipe for the given MAE
+// config, split across ranks with the DDP baseline plan.
+func DefaultDistPretrain(m mae.Config, ranks int) DistConfig {
+	return DistConfig{
+		PretrainConfig: DefaultPretrain(m),
+		Ranks:          ranks,
+		Plan:           fsdp.DefaultDDP(),
+	}
+}
+
+// DistResult extends PretrainResult with the distributed-execution
+// telemetry: the measured-vs-modeled collective accounting and the
+// per-step traffic the fsdp simulator predicts for the same plan.
+type DistResult struct {
+	PretrainResult
+	// Ranks is the world size the run executed with.
+	Ranks int
+	// Comm is the World's per-collective accounting: calls, bytes each
+	// rank actually sent around the ring, and the α–β model's
+	// prediction for the same calls.
+	Comm dist.Stats
+	// Traffic is fsdp.TrafficPerStep for this plan/world/model — the
+	// per-step wire bytes the Section IV simulator charges. The
+	// executed byte counters in Comm match it exactly:
+	// Comm.<op>.MeasuredWireBytes == Traffic.<op>Bytes × Steps.
+	Traffic fsdp.Traffic
+
+	// replicas holds every rank's model so tests can assert the ranks
+	// stayed bit-identical.
+	replicas []*mae.Model
+}
+
+// PretrainDistributed runs MAE pretraining SPMD across cfg.Ranks
+// in-process ranks: seed-identical replicas synchronized by a parameter
+// broadcast at init, a rank-sharded sampler over the same global batch
+// sequence as the single-rank run, per-rank forward/backward with the
+// global batch's mask stream, and gradient/optimizer synchronization
+// per cfg.Plan. The returned model is rank 0's replica (all replicas
+// are bit-identical after every step).
+func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, error) {
+	if err := cfg.MAE.Validate(); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("train: non-positive rank count %d", cfg.Ranks)
+	}
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: non-positive batch size or epochs")
+	}
+	if cfg.BatchSize%cfg.Ranks != 0 {
+		return nil, fmt.Errorf("train: global batch %d not divisible by %d ranks", cfg.BatchSize, cfg.Ranks)
+	}
+	plan := cfg.Plan
+	if plan == (fsdp.Plan{}) {
+		plan = fsdp.DefaultDDP()
+	}
+	if plan.Strategy == fsdp.DDP && plan.DDPBucketBytes <= 0 {
+		plan.DDPBucketBytes = fsdp.DefaultDDP().DDPBucketBytes
+	}
+	sharded := false
+	switch plan.Strategy {
+	case fsdp.DDP, fsdp.NoShard:
+	case fsdp.HybridShard:
+		if plan.GroupSize != 1 {
+			return nil, fmt.Errorf("train: HYBRID_%dGPUs shards within sub-groups, which the in-process executor does not run; use DDP/NO_SHARD or SHARD_GRAD_OP", plan.GroupSize)
+		}
+	case fsdp.ShardGradOp:
+		sharded = true
+	case fsdp.FullShard:
+		return nil, fmt.Errorf("train: FULL_SHARD re-gathers parameters inside forward/backward, which the in-process executor does not run; use SHARD_GRAD_OP (ZeRO-1)")
+	default:
+		return nil, fmt.Errorf("train: unknown strategy %v", plan.Strategy)
+	}
+	if err := plan.Validate(cfg.Ranks); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	n := cfg.Ranks
+	local := cfg.BatchSize / n
+	stepsPerEpoch := ds.TrainCount / cfg.BatchSize
+	if cfg.MaxStepsPerEpoch > 0 && stepsPerEpoch > cfg.MaxStepsPerEpoch {
+		stepsPerEpoch = cfg.MaxStepsPerEpoch
+	}
+	if stepsPerEpoch == 0 {
+		return nil, fmt.Errorf("train: dataset smaller than one global batch")
+	}
+	sched := opt.CosineSchedule{
+		Base:        opt.ScaledLR(cfg.BaseLR, cfg.BatchSize),
+		MinLR:       0,
+		WarmupSteps: cfg.WarmupEpochs * stepsPerEpoch,
+		TotalSteps:  cfg.Epochs * stepsPerEpoch,
+	}
+
+	world := dist.New(n, dist.Options{Link: cfg.Link})
+	res := &DistResult{Ranks: n}
+	res.LossCurve.Name = cfg.MAE.Encoder.Name + " pretrain loss"
+	res.EpochLoss.Name = cfg.MAE.Encoder.Name + " epoch loss"
+	models := make([]*mae.Model, n)
+
+	start := time.Now()
+	err := world.Run(func(r *dist.Rank) error {
+		// Every rank builds a replica from the same seed (which also
+		// locks the mask streams together); the broadcast then enforces
+		// bit-identical parameters from rank 0 regardless of how the
+		// replica was initialized.
+		model := mae.New(cfg.MAE, rng.New(cfg.Seed))
+		models[r.ID()] = model
+		params := model.Params()
+		dim := opt.FlatDim(params)
+		padded := opt.PadTo(dim, n)
+
+		initBuf := make([]float32, dim)
+		if r.ID() == 0 {
+			opt.PackValues(initBuf, params)
+		}
+		r.Broadcast(initBuf, 0)
+		opt.UnpackValues(params, initBuf)
+
+		flatG := make([]float32, padded)
+		shardLen := padded / n
+		lo := r.ID() * shardLen
+		var (
+			optim    *opt.AdamW
+			shardOpt *opt.ShardedAdamW
+			flatW    []float32
+		)
+		if sharded {
+			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, lo, lo+shardLen)
+			flatW = make([]float32, padded)
+			opt.PackValues(flatW, params)
+		} else {
+			optim = opt.NewAdamW(params, cfg.WeightDecay)
+		}
+
+		// DDP buckets: fixed-size spans of the flat gradient, rounded
+		// to a multiple of the world size so ring chunks stay uniform.
+		bucketElems := padded
+		if plan.Strategy == fsdp.DDP && n > 1 {
+			bucketElems = int(plan.DDPBucketBytes) / 4 / n * n
+			if bucketElems < n {
+				bucketElems = n
+			}
+		}
+
+		gen := ds.Gen
+		loader := dataload.New(
+			dataload.TrainSplit{D: ds, Count: ds.TrainCount, ImgLen: gen.ImageLen()},
+			dataload.Config{
+				BatchSize:  local,
+				Workers:    cfg.Workers,
+				Shuffle:    true,
+				DropLast:   true,
+				Seed:       cfg.Seed ^ 0xDA7A,
+				ShardRank:  r.ID(),
+				ShardWorld: n,
+			})
+
+		invN := float32(1) / float32(n)
+		step := 0
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			var epochLoss metrics.Meter
+			for batch := range loader.EpochN(stepsPerEpoch) {
+				// All ranks draw the global batch's masks from their
+				// lock-step streams and keep the local slice, so the
+				// mask sequence matches the single-rank run.
+				keep := model.DrawMasksRange(cfg.BatchSize, r.ID()*local, (r.ID()+1)*local)
+				nn.ZeroGrads(params)
+				loss := model.StepWithMask(batch.Images, batch.Size, keep)
+
+				// Local gradients are means over the local batch; the
+				// 1/n scale turns the cross-rank sum into the global
+				// mean the single-rank run computes.
+				opt.PackGrads(flatG, params)
+				if n > 1 {
+					tensor.Scale(flatG[:dim], flatG[:dim], invN)
+				}
+
+				lr := sched.LR(step)
+				if sharded {
+					gShard := r.ReduceScatter(flatG)
+					if cfg.ClipNorm > 0 {
+						// Global-norm clipping over the sharded
+						// gradient: shard sums of squares all-reduce to
+						// the same total the single-rank clip computes.
+						norm := math.Sqrt(r.AllReduceScalar(sumSq(gShard)))
+						if norm > cfg.ClipNorm && norm > 0 {
+							tensor.Scale(gShard, gShard, float32(cfg.ClipNorm/norm))
+						}
+					}
+					shardOpt.Step(lr, flatW[lo:lo+shardLen], gShard)
+					r.AllGather(flatW, nil)
+					opt.UnpackValues(params, flatW)
+				} else {
+					for off := 0; off < padded; off += bucketElems {
+						end := off + bucketElems
+						if end > padded {
+							end = padded
+						}
+						r.AllReduce(flatG[off:end])
+					}
+					opt.UnpackGrads(params, flatG)
+					if cfg.ClipNorm > 0 {
+						nn.ClipGradNorm(params, cfg.ClipNorm)
+					}
+					optim.Step(lr)
+				}
+
+				gLoss := r.AllReduceScalar(loss) / float64(n)
+				loader.Recycle(batch)
+				if r.ID() == 0 {
+					epochLoss.Add(gLoss)
+					res.LossCurve.Append(float64(step), gLoss)
+				}
+				step++
+			}
+			if r.ID() == 0 {
+				res.EpochLoss.Append(float64(epoch), epochLoss.Mean())
+				if cfg.Log != nil {
+					fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.4f  lr %.2e  [%d ranks, %s]\n",
+						epoch+1, cfg.Epochs, epochLoss.Mean(), sched.LR(step-1), n, plan.Name())
+				}
+			}
+		}
+		if r.ID() == 0 {
+			res.Steps = step
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Model = models[0]
+	res.replicas = models
+	res.Comm = world.Stats()
+	res.Traffic = fsdp.TrafficPerStep(plan, n, opt.FlatDim(models[0].Params()))
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		res.ImagesPerSec = float64(res.Steps*cfg.BatchSize) / elapsed
+	}
+	return res, nil
+}
+
+// sumSq accumulates Σx² in float64, matching nn.GradL2Norm's
+// accumulation precision.
+func sumSq(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return s
+}

@@ -119,11 +119,11 @@ func Pretrain(cfg PretrainConfig, ds *geodata.Dataset) (*PretrainResult, error) 
 				nn.ClipGradNorm(params, cfg.ClipNorm)
 			}
 			optim.Step(sched.LR(step))
+			images += batch.Size
 			loader.Recycle(batch)
 
 			epochLoss.Add(loss)
 			res.LossCurve.Append(float64(step), loss)
-			images += batch.Size
 			step++
 		}
 		res.EpochLoss.Append(float64(epoch), epochLoss.Mean())

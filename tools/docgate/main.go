@@ -1,0 +1,81 @@
+// Command docgate is the CI documentation gate: it walks every Go
+// package under the repository root and fails (exit 1, one line per
+// offender) unless each package carries a package comment — the
+// godoc-visible doc block attached to a package clause in at least one
+// of its non-test files.
+//
+// Usage:
+//
+//	go run ./tools/docgate          # check the tree rooted at .
+//	go run ./tools/docgate ./...    # same; a path argument sets the root
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 && os.Args[1] != "./..." {
+		root = os.Args[1]
+	}
+	// dir → true once a package comment is seen in any non-test file.
+	documented := map[string]bool{}
+	hasGo := map[string]bool{}
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		hasGo[dir] = true
+		if documented[dir] {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(1)
+	}
+
+	var missing []string
+	for dir := range hasGo {
+		if !documented[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	for _, dir := range missing {
+		fmt.Printf("docgate: package in %s has no package comment\n", dir)
+	}
+	if len(missing) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("docgate: %d packages documented\n", len(hasGo))
+}
