@@ -22,7 +22,7 @@ test-all:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dist/ ./internal/train/
+	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./geofm/ ./cmd/pretrain/
 
 # Docs gate: formatting, vet, and a package comment on every package.
 docs:

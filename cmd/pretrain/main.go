@@ -8,18 +8,28 @@
 //
 //	pretrain -model ViT-1B -image 32 -patch 8 -epochs 20 -out vit1b.ckpt
 //	pretrain -model ViT-Base -ranks 4 -strategy zero1 -epochs 4
+//	pretrain -model ViT-Base -ranks 8 -strategy hybrid:4 -epochs 4
 //
 // -batch is the global batch size; with -ranks N each rank trains
 // batch/N samples per step. -strategy selects the synchronization
-// schedule: "ddp" (bucketed gradient all-reduce, replicated optimizer)
-// or "zero1" (reduce-scattered gradients, rank-sharded AdamW state,
-// all-gathered parameters — FSDP's SHARD_GRAD_OP).
+// schedule — the paper's full Section III-C matrix:
+//
+//	ddp       bucketed gradient all-reduce, replicated optimizer
+//	zero1     reduce-scattered gradients, rank-sharded AdamW state,
+//	          all-gathered parameters (FSDP's SHARD_GRAD_OP)
+//	full      zero1 plus parameter resharding after forward with a
+//	          backward re-gather (FSDP's FULL_SHARD)
+//	hybrid:k  FULL_SHARD inside k-rank shard groups, gradient-shard
+//	          all-reduce across the world/k replica groups
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/geofm"
 )
@@ -37,7 +47,7 @@ func main() {
 	workers := flag.Int("workers", 4, "data loader workers per rank")
 	seed := flag.Uint64("seed", 1, "master seed")
 	ranks := flag.Int("ranks", 1, "data-parallel world size (in-process ranks)")
-	strategy := flag.String("strategy", "ddp", "gradient sync for -ranks > 1: ddp | zero1")
+	strategy := flag.String("strategy", "ddp", "gradient sync for -ranks > 1: "+acceptedStrategies)
 	out := flag.String("out", "", "checkpoint output path (optional)")
 	flag.Parse()
 
@@ -60,14 +70,9 @@ func main() {
 		enc.Name, enc.EncoderParams(), suite.Pretrain.Name, suite.Pretrain.TrainCount)
 
 	// Resolve -strategy up front so a typo fails fast even at -ranks 1.
-	var plan geofm.Plan
-	switch *strategy {
-	case "ddp":
-		plan = geofm.DefaultDDP()
-	case "zero1":
-		plan = geofm.BestPractice(geofm.ShardGradOp, 0)
-	default:
-		fatal(fmt.Errorf("unknown -strategy %q (want ddp or zero1)", *strategy))
+	plan, err := parsePlan(*strategy)
+	if err != nil {
+		fatal(err)
 	}
 
 	var res *geofm.PretrainResult
@@ -78,7 +83,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		printComm(dres)
+		writeComm(os.Stdout, dres)
 		res = &dres.PretrainResult
 	} else {
 		res, err = geofm.Pretrain(cfg, suite.Pretrain)
@@ -97,12 +102,38 @@ func main() {
 	}
 }
 
-// printComm reports each collective's executed traffic next to the α–β
-// model's accounting, plus the fsdp simulator's per-step prediction.
-func printComm(res *geofm.DistPretrainResult) {
+// acceptedStrategies is the full -strategy vocabulary; parse errors
+// quote it so a typo never silently falls back to a default.
+const acceptedStrategies = "ddp | zero1 | full | hybrid:k"
+
+// parsePlan maps a -strategy spelling onto its fsdp plan.
+func parsePlan(s string) (geofm.Plan, error) {
+	switch {
+	case s == "ddp":
+		return geofm.DefaultDDP(), nil
+	case s == "zero1":
+		return geofm.BestPractice(geofm.ShardGradOp, 0), nil
+	case s == "full":
+		return geofm.BestPractice(geofm.FullShard, 0), nil
+	case strings.HasPrefix(s, "hybrid:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "hybrid:"))
+		if err != nil || k < 1 {
+			return geofm.Plan{}, fmt.Errorf("bad hybrid group in -strategy %q (want %s)", s, acceptedStrategies)
+		}
+		return geofm.BestPractice(geofm.HybridShard, k), nil
+	default:
+		return geofm.Plan{}, fmt.Errorf("unknown -strategy %q (want %s)", s, acceptedStrategies)
+	}
+}
+
+// writeComm reports each collective's executed traffic next to the α–β
+// model's accounting, plus the fsdp simulator's per-step prediction —
+// the measured-vs-modeled table a golden test pins so the report cannot
+// silently drift.
+func writeComm(w io.Writer, res *geofm.DistPretrainResult) {
 	steps := float64(res.Steps)
-	fmt.Printf("collective traffic (%d ranks, %d steps):\n", res.Ranks, res.Steps)
-	fmt.Printf("  %-15s %8s %14s %14s %12s\n", "op", "calls", "sent MiB/rank", "model MiB", "model time")
+	fmt.Fprintf(w, "collective traffic (%d ranks, %d steps):\n", res.Ranks, res.Steps)
+	fmt.Fprintf(w, "  %-15s %8s %14s %14s %12s\n", "op", "calls", "sent MiB/rank", "model MiB", "model time")
 	rows := []struct {
 		name string
 		s    geofm.CommOpStats
@@ -116,11 +147,11 @@ func printComm(res *geofm.DistPretrainResult) {
 		if r.s.Calls == 0 {
 			continue
 		}
-		fmt.Printf("  %-15s %8d %14.2f %14.2f %10.1fms\n", r.name, r.s.Calls,
+		fmt.Fprintf(w, "  %-15s %8d %14.2f %14.2f %10.1fms\n", r.name, r.s.Calls,
 			r.s.MeasuredWireBytes/(1<<20), r.s.ModelWireBytes/(1<<20), r.s.ModelTime*1e3)
 	}
 	if steps > 0 {
-		fmt.Printf("  per-step bytes vs fsdp simulator: AR %.0f/%.0f  RS %.0f/%.0f  AG %.0f/%.0f\n",
+		fmt.Fprintf(w, "  per-step bytes vs fsdp simulator: AR %.0f/%.0f  RS %.0f/%.0f  AG %.0f/%.0f\n",
 			res.Comm.AllReduce.MeasuredWireBytes/steps, res.Traffic.AllReduceBytes,
 			res.Comm.ReduceScatter.MeasuredWireBytes/steps, res.Traffic.ReduceScatterBytes,
 			res.Comm.AllGather.MeasuredWireBytes/steps, res.Traffic.AllGatherBytes)

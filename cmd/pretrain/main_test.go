@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/geofm"
+)
+
+// TestParsePlan pins the full accepted -strategy vocabulary and the
+// fail-fast behaviour: every rejection names the complete set, so a
+// typo can never silently train with a default plan.
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		in       string
+		strategy geofm.Plan
+	}{
+		{"ddp", geofm.DefaultDDP()},
+		{"zero1", geofm.BestPractice(geofm.ShardGradOp, 0)},
+		{"full", geofm.BestPractice(geofm.FullShard, 0)},
+		{"hybrid:2", geofm.BestPractice(geofm.HybridShard, 2)},
+		{"hybrid:8", geofm.BestPractice(geofm.HybridShard, 8)},
+	}
+	for _, c := range cases {
+		got, err := parsePlan(c.in)
+		if err != nil {
+			t.Errorf("parsePlan(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.strategy {
+			t.Errorf("parsePlan(%q) = %+v, want %+v", c.in, got, c.strategy)
+		}
+	}
+	for _, bad := range []string{"", "DDP", "zero2", "fsdp", "hybrid", "hybrid:", "hybrid:0", "hybrid:-2", "hybrid:x"} {
+		_, err := parsePlan(bad)
+		if err == nil {
+			t.Errorf("parsePlan(%q): expected an error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), acceptedStrategies) {
+			t.Errorf("parsePlan(%q) error %q does not name the accepted set %q", bad, err, acceptedStrategies)
+		}
+	}
+}
+
+// TestCommTableGolden runs a deterministic 4-rank HYBRID_2GPUs training
+// and pins writeComm's report byte for byte: the measured counters, the
+// α–β model's pricing on a fixed link, and the per-step comparison
+// against the fsdp simulator. Any drift between the executed
+// collectives and the simulator's accounting — or any silent format
+// change in the report — fails here.
+func TestCommTableGolden(t *testing.T) {
+	enc := geofm.ViTConfig{Name: "tiny", Width: 16, Depth: 2, MLP: 32, Heads: 2,
+		PatchSize: 4, ImageSize: 12, Channels: 3}
+	cfg := geofm.DefaultPretrain(geofm.MAEConfig{Encoder: enc,
+		DecoderWidth: 8, DecoderDepth: 1, DecoderHeads: 2, MaskRatio: 0.75})
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8
+	cfg.Workers = 2
+	cfg.Seed = 1
+	plan, err := parsePlan("hybrid:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := geofm.DistPretrainConfig{
+		PretrainConfig: cfg,
+		Ranks:          4,
+		Plan:           plan,
+		// A fixed link so the modeled times are independent of the
+		// hw.Frontier defaults.
+		Link: geofm.CommParams{Bandwidth: 50e9, HopLat: 1e-6, Launch: 2e-5},
+	}
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	res, err := geofm.PretrainDistributed(dcfg, suite.Pretrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	writeComm(&b, res)
+	const golden = `collective traffic (4 ranks, 2 steps):
+  op                 calls  sent MiB/rank      model MiB   model time
+  broadcast              1           0.03           0.03        0.0ms
+  all-reduce             2           0.03           0.03        0.0ms
+  reduce-scatter         2           0.03           0.03        0.0ms
+  all-gather             4           0.05           0.05        0.1ms
+  per-step bytes vs fsdp simulator: AR 13456/13456  RS 13456/13456  AG 26912/26912
+`
+	if got := b.String(); got != golden {
+		t.Errorf("comm table drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

@@ -102,6 +102,64 @@ func ExamplePretrainDistributed() {
 	// measured == simulator accounting: true
 }
 
+// ExamplePretrainDistributed_fullShard trains with FULL_SHARD: the
+// ZeRO-3-style schedule where parameters are resharded after forward
+// and re-gathered in backward, so each step moves one gradient
+// reduce-scatter and two parameter all-gathers — exactly what the
+// simulator charges.
+func ExamplePretrainDistributed_fullShard() {
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	cfg := geofm.DefaultDistPretrain(tinyMAE(), 4)
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8 // global; 2 per rank
+	cfg.Plan = geofm.BestPractice(geofm.FullShard, 0)
+	res, err := geofm.PretrainDistributed(cfg, suite.Pretrain)
+	if err != nil {
+		panic(err)
+	}
+	steps := float64(res.Steps)
+	fmt.Println("strategy:", cfg.Plan.Name())
+	fmt.Println("reduce-scatter == simulator:",
+		res.Comm.ReduceScatter.MeasuredWireBytes == res.Traffic.ReduceScatterBytes*steps)
+	fmt.Println("all-gather == simulator:",
+		res.Comm.AllGather.MeasuredWireBytes == res.Traffic.AllGatherBytes*steps)
+	fmt.Println("all-gathers per step:", res.Comm.AllGather.Calls/res.Steps)
+	// Output:
+	// strategy: FULL_SHARD
+	// reduce-scatter == simulator: true
+	// all-gather == simulator: true
+	// all-gathers per step: 2
+}
+
+// ExamplePretrainDistributed_hybrid trains with HYBRID_2GPUs on four
+// ranks: FULL_SHARD collectives inside each 2-rank shard group plus a
+// gradient-shard all-reduce across the two replica groups — the
+// two-level scheme that makes the paper's 3B model trainable.
+func ExamplePretrainDistributed_hybrid() {
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	cfg := geofm.DefaultDistPretrain(tinyMAE(), 4)
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8
+	cfg.Plan = geofm.BestPractice(geofm.HybridShard, 2)
+	res, err := geofm.PretrainDistributed(cfg, suite.Pretrain)
+	if err != nil {
+		panic(err)
+	}
+	steps := float64(res.Steps)
+	fmt.Println("strategy:", cfg.Plan.Name())
+	fmt.Println("group traffic == simulator:",
+		res.Comm.ReduceScatter.MeasuredWireBytes == res.Traffic.ReduceScatterBytes*steps &&
+			res.Comm.AllGather.MeasuredWireBytes == res.Traffic.AllGatherBytes*steps)
+	fmt.Println("replica all-reduce == simulator:",
+		res.Comm.AllReduce.MeasuredWireBytes == res.Traffic.AllReduceBytes*steps)
+	// Output:
+	// strategy: HYBRID_2GPUs
+	// group traffic == simulator: true
+	// replica all-reduce == simulator: true
+}
+
 // ExamplePredictStepTraffic prints the per-rank wire bytes one step
 // moves for a million-parameter model under DDP and ZeRO-1 on 8 ranks.
 func ExamplePredictStepTraffic() {

@@ -104,9 +104,12 @@ var (
 
 // DistPretrainConfig configures real multi-rank pretraining: the
 // embedded PretrainConfig is global (BatchSize is the global batch,
-// split across Ranks), Plan selects DDP-style bucketed all-reduce or
-// ZeRO-1 (SHARD_GRAD_OP) sharded-optimizer synchronization, and Link is
-// the α–β model each executed collective is priced against.
+// split across Ranks), Plan selects the synchronization strategy — the
+// full Section III-C matrix executes: DDP-style bucketed all-reduce,
+// ZeRO-1 (SHARD_GRAD_OP), FULL_SHARD with parameter resharding between
+// forward and backward, and the two-level HYBRID_kGPUs scheme over
+// shard/replica subgroup communicators — and Link is the α–β model
+// each executed collective is priced against.
 type DistPretrainConfig = train.DistConfig
 
 // DistPretrainResult extends PretrainResult with the world size, the
@@ -134,8 +137,10 @@ func DefaultDistPretrain(m MAEConfig, ranks int) DistPretrainConfig {
 // PretrainDistributed runs MAE pretraining across in-process goroutine
 // ranks with real ring collectives (internal/dist): broadcast-
 // synchronized init, rank-sharded sampling, and per-plan gradient /
-// optimizer-state synchronization. An N-rank run reproduces the
-// single-rank Pretrain loss trajectory up to float reassociation.
+// optimizer-state / parameter synchronization (the sharded strategies
+// reshard parameters through subgroup communicators). An N-rank run
+// reproduces the single-rank Pretrain loss trajectory up to float
+// reassociation, for every strategy of the matrix.
 func PretrainDistributed(cfg DistPretrainConfig, ds *Dataset) (*DistPretrainResult, error) {
 	return train.PretrainDistributed(cfg, ds)
 }

@@ -8,13 +8,16 @@ import (
 )
 
 // Rank is one participant's handle into the World. A Rank must only be
-// used from the goroutine World.Run assigned it to.
+// used from the goroutine World.Run assigned it to. Its collective
+// methods run on the world group (all ranks); Group methods run the
+// same algorithms scoped to a subgroup.
 type Rank struct {
 	w  *World
 	id int
 
-	// sentBytes counts what this rank physically sent to its ring
-	// successor, per collective kind — the measured side of Stats.
+	// sentBytes counts what this rank physically sent to a ring
+	// successor — in the world ring or any subgroup ring — per
+	// collective kind: the measured side of Stats.
 	sentBytes [numOps]int64
 }
 
@@ -25,13 +28,46 @@ func (r *Rank) ID() int { return r.id }
 func (r *Rank) Size() int { return r.w.n }
 
 // Barrier blocks until every rank has entered it.
-func (r *Rank) Barrier() { r.w.bar.wait() }
+func (r *Rank) Barrier() { r.w.root.bar.wait() }
 
-// ring-edge channels for this rank.
-func (r *Rank) sendCh() chan []float32 { return r.w.data[r.id] }
-func (r *Rank) recvCh() chan []float32 { return r.w.data[(r.id-1+r.w.n)%r.w.n] }
-func (r *Rank) ackSend() chan struct{} { return r.w.ack[(r.id-1+r.w.n)%r.w.n] }
-func (r *Rank) ackRecv() chan struct{} { return r.w.ack[r.id] }
+// ReduceScatter sums buf element-wise across all ranks and leaves this
+// rank with its fully reduced shard: chunk r.ID() of the n uniform
+// chunks of buf, returned as a view into buf. After the call the other
+// chunks of buf hold partial sums and must be treated as garbage.
+// len(buf) must be a multiple of the world size.
+func (r *Rank) ReduceScatter(buf []float32) []float32 {
+	return r.w.root.on(r).reduceScatter(buf, OpReduceScatter, true)
+}
+
+// AllGather fills buf with every rank's shard: rank i contributes chunk
+// i. If shard is non-nil it is copied into this rank's chunk first
+// (shard may alias that chunk); if nil the chunk is assumed to already
+// hold this rank's contribution. len(buf) must be a multiple of the
+// world size and len(shard), when non-nil, must equal len(buf)/Size.
+func (r *Rank) AllGather(buf []float32, shard []float32) {
+	r.w.root.on(r).allGatherOp(buf, shard, OpAllGather, true)
+}
+
+// AllReduce sums buf element-wise across all ranks, leaving every rank
+// with the identical full result (ring reduce-scatter followed by ring
+// all-gather, the same algorithm RCCL runs). len(buf) must be a
+// multiple of the world size.
+func (r *Rank) AllReduce(buf []float32) { r.w.root.on(r).allReduce(buf) }
+
+// Broadcast copies root's buf to every rank's buf via a pipelined ring:
+// each rank forwards the payload to its successor, so ranks 0..n−2 each
+// put the full buffer on the wire once. Any length is allowed.
+func (r *Rank) Broadcast(buf []float32, root int) { r.w.root.on(r).broadcast(buf, root) }
+
+// AllReduceScalar sums a float64 control value across ranks (loss
+// averaging, global gradient norms) and returns the identical total on
+// every rank. The sum is accumulated in rank order, so the result is
+// deterministic and bit-identical across ranks. Counted under OpScalar
+// in Stats; scalar control traffic is excluded from the wire-byte
+// comparisons against the fsdp simulator, which does not model it.
+func (r *Rank) AllReduceScalar(v float64) float64 {
+	return r.w.root.on(r).allReduceScalar(v)
+}
 
 // abortable channel operations: every blocking ring edge also watches
 // the world's abort channel, so a peer's death surfaces as an
@@ -69,6 +105,21 @@ func (r *Rank) recvSig(ch chan struct{}) {
 	}
 }
 
+// member is a rank's position inside one communicator's ring: the ring
+// algorithms below are written against it, so the world group and every
+// subgroup execute identical code over their own per-edge channels.
+type member struct {
+	g  *Group
+	r  *Rank
+	id int // group-local ring position
+}
+
+// ring-edge channels for this member.
+func (m member) sendCh() chan []float32 { return m.g.data[m.id] }
+func (m member) recvCh() chan []float32 { return m.g.data[(m.id-1+m.g.n)%m.g.n] }
+func (m member) ackSend() chan struct{} { return m.g.ack[(m.id-1+m.g.n)%m.g.n] }
+func (m member) ackRecv() chan struct{} { return m.g.ack[m.id] }
+
 // exchange performs one synchronized ring step: publish a read-only
 // view to the successor, receive the predecessor's view, let process
 // consume it, acknowledge, and wait for the successor's acknowledgement
@@ -76,98 +127,82 @@ func (r *Rank) recvSig(ch chan struct{}) {
 // have capacity 1 and the acknowledgement gates the next step, so no
 // edge ever holds more than one in-flight view and a view is never read
 // after its step completes.
-func (r *Rank) exchange(op Op, view []float32, process func(recv []float32)) {
-	r.sentBytes[op] += int64(len(view)) * 4
-	r.sendView(r.sendCh(), view)
-	recv := r.recvView(r.recvCh())
+func (m member) exchange(op Op, view []float32, process func(recv []float32)) {
+	m.r.sentBytes[op] += int64(len(view)) * 4
+	m.r.sendView(m.sendCh(), view)
+	recv := m.r.recvView(m.recvCh())
 	process(recv)
-	r.sendSig(r.ackSend())
-	r.recvSig(r.ackRecv())
+	m.r.sendSig(m.ackSend())
+	m.r.recvSig(m.ackRecv())
 }
 
-// chunk returns the c-th of n uniform chunks of buf.
+// chunkOf returns the c-th of n uniform chunks of buf.
 func chunkOf(buf []float32, c, n int) []float32 {
 	cs := len(buf) / n
 	return buf[c*cs : (c+1)*cs]
 }
 
-func (r *Rank) checkDivisible(buf []float32, op Op) {
-	if len(buf)%r.w.n != 0 {
-		panic(fmt.Sprintf("dist: %v buffer length %d not divisible by world %d (pad the buffer)",
-			op, len(buf), r.w.n))
+func (m member) checkDivisible(buf []float32, op Op) {
+	if len(buf)%m.g.n != 0 {
+		panic(fmt.Sprintf("dist: %v buffer length %d not divisible by group size %d (pad the buffer)",
+			op, len(buf), m.g.n))
 	}
 }
 
-// begin starts model/wall accounting for one call on rank 0.
-func (r *Rank) begin() time.Time {
-	if r.id == 0 {
+// begin starts model/wall accounting for one call. Stats keeps world
+// rank 0's view of the SPMD schedule, so only calls entered by world
+// rank 0 are recorded (see Stats).
+func (m member) begin() time.Time {
+	if m.r.id == 0 {
 		return time.Now()
 	}
 	return time.Time{}
 }
 
-func (r *Rank) end(op Op, c comm.Cost, t0 time.Time) {
-	if r.id == 0 {
-		r.w.record(op, c, time.Since(t0))
+func (m member) end(op Op, c comm.Cost, t0 time.Time) {
+	if m.r.id == 0 {
+		m.g.w.record(op, c, time.Since(t0))
 	}
 }
 
-// ReduceScatter sums buf element-wise across all ranks and leaves this
-// rank with its fully reduced shard: chunk r.ID() of the n uniform
-// chunks of buf, returned as a view into buf. After the call the other
-// chunks of buf hold partial sums and must be treated as garbage.
-// len(buf) must be a multiple of the world size.
-func (r *Rank) ReduceScatter(buf []float32) []float32 {
-	return r.reduceScatter(buf, OpReduceScatter, true)
-}
-
-func (r *Rank) reduceScatter(buf []float32, op Op, account bool) []float32 {
-	r.checkDivisible(buf, op)
-	n := r.w.n
+func (m member) reduceScatter(buf []float32, op Op, account bool) []float32 {
+	m.checkDivisible(buf, op)
+	n := m.g.n
 	if n == 1 {
 		if account {
-			t0 := r.begin()
-			r.end(op, comm.ReduceScatter(float64(len(buf)*4), 1, r.w.link), t0)
+			t0 := m.begin()
+			m.end(op, comm.ReduceScatter(float64(len(buf)*4), 1, m.g.link), t0)
 		}
 		return buf
 	}
 	var t0 time.Time
 	if account {
-		t0 = r.begin()
+		t0 = m.begin()
 	}
-	// Ring reduce-scatter: at step s rank i sends chunk (i−1−s) mod n —
+	// Ring reduce-scatter: at step s member i sends chunk (i−1−s) mod n —
 	// the chunk it finished accumulating in the previous step — and
 	// accumulates the received chunk (i−2−s) mod n into its buffer.
-	// After n−1 steps chunk i on rank i carries every rank's
+	// After n−1 steps chunk i on member i carries every member's
 	// contribution.
 	for s := 0; s < n-1; s++ {
-		send := chunkOf(buf, mod(r.id-1-s, n), n)
-		r.exchange(op, send, func(recv []float32) {
-			acc := chunkOf(buf, mod(r.id-2-s, n), n)
+		send := chunkOf(buf, mod(m.id-1-s, n), n)
+		m.exchange(op, send, func(recv []float32) {
+			acc := chunkOf(buf, mod(m.id-2-s, n), n)
 			for j := range acc {
 				acc[j] += recv[j]
 			}
 		})
 	}
 	if account {
-		r.end(op, comm.ReduceScatter(float64(len(buf)*4), n, r.w.link), t0)
+		m.end(op, comm.ReduceScatter(float64(len(buf)*4), n, m.g.link), t0)
 	}
-	return chunkOf(buf, r.id, n)
+	return chunkOf(buf, m.id, n)
 }
 
-// AllGather fills buf with every rank's shard: rank i contributes chunk
-// i. If shard is non-nil it is copied into this rank's chunk first
-// (shard may alias that chunk); if nil the chunk is assumed to already
-// hold this rank's contribution. len(buf) must be a multiple of the
-// world size and len(shard), when non-nil, must equal len(buf)/Size.
-func (r *Rank) AllGather(buf []float32, shard []float32) {
-	r.allGather(buf, shard, OpAllGather, true)
-}
-
-func (r *Rank) allGather(buf []float32, shard []float32, op Op, account bool) {
-	r.checkDivisible(buf, op)
-	n := r.w.n
-	own := chunkOf(buf, r.id, n)
+func (m member) allGatherOp(buf []float32, shard []float32, op Op, account bool) {
+	m.checkDivisible(buf, op)
+	n := m.g.n
+	own := chunkOf(buf, m.id, n)
 	if shard != nil {
 		if len(shard) != len(own) {
 			panic(fmt.Sprintf("dist: all-gather shard length %d, want %d", len(shard), len(own)))
@@ -176,93 +211,80 @@ func (r *Rank) allGather(buf []float32, shard []float32, op Op, account bool) {
 	}
 	if n == 1 {
 		if account {
-			t0 := r.begin()
-			r.end(op, comm.AllGather(float64(len(buf)*4), 1, r.w.link), t0)
+			t0 := m.begin()
+			m.end(op, comm.AllGather(float64(len(buf)*4), 1, m.g.link), t0)
 		}
 		return
 	}
 	var t0 time.Time
 	if account {
-		t0 = r.begin()
+		t0 = m.begin()
 	}
-	// Ring all-gather: at step s rank i forwards chunk (i−s) mod n
+	// Ring all-gather: at step s member i forwards chunk (i−s) mod n
 	// (its own chunk first, then whatever it received last step) and
 	// copies the received chunk (i−1−s) mod n into place.
 	for s := 0; s < n-1; s++ {
-		send := chunkOf(buf, mod(r.id-s, n), n)
-		r.exchange(op, send, func(recv []float32) {
-			copy(chunkOf(buf, mod(r.id-1-s, n), n), recv)
+		send := chunkOf(buf, mod(m.id-s, n), n)
+		m.exchange(op, send, func(recv []float32) {
+			copy(chunkOf(buf, mod(m.id-1-s, n), n), recv)
 		})
 	}
 	if account {
-		r.end(op, comm.AllGather(float64(len(buf)*4), n, r.w.link), t0)
+		m.end(op, comm.AllGather(float64(len(buf)*4), n, m.g.link), t0)
 	}
 }
 
-// AllReduce sums buf element-wise across all ranks, leaving every rank
-// with the identical full result (ring reduce-scatter followed by ring
-// all-gather, the same algorithm RCCL runs). len(buf) must be a
-// multiple of the world size.
-func (r *Rank) AllReduce(buf []float32) {
-	t0 := r.begin()
-	r.reduceScatter(buf, OpAllReduce, false)
-	r.allGather(buf, nil, OpAllReduce, false)
-	r.end(OpAllReduce, comm.AllReduce(float64(len(buf)*4), r.w.n, r.w.link), t0)
+func (m member) allReduce(buf []float32) {
+	t0 := m.begin()
+	m.reduceScatter(buf, OpAllReduce, false)
+	m.allGatherOp(buf, nil, OpAllReduce, false)
+	m.end(OpAllReduce, comm.AllReduce(float64(len(buf)*4), m.g.n, m.g.link), t0)
 }
 
-// Broadcast copies root's buf to every rank's buf via a pipelined ring:
-// each rank forwards the payload to its successor, so ranks 0..n−2 each
-// put the full buffer on the wire once. Any length is allowed.
-func (r *Rank) Broadcast(buf []float32, root int) {
-	n := r.w.n
+func (m member) broadcast(buf []float32, root int) {
+	n := m.g.n
 	if root < 0 || root >= n {
-		panic(fmt.Sprintf("dist: broadcast root %d outside world %d", root, n))
+		panic(fmt.Sprintf("dist: broadcast root %d outside group of %d", root, n))
 	}
-	t0 := r.begin()
+	t0 := m.begin()
 	if n > 1 {
-		pos := mod(r.id-root, n) // distance from root along the ring
+		pos := mod(m.id-root, n) // distance from root along the ring
 		if pos == 0 {
-			r.sentBytes[OpBroadcast] += int64(len(buf)) * 4
-			r.sendView(r.sendCh(), buf)
-			r.recvSig(r.ackRecv())
+			m.r.sentBytes[OpBroadcast] += int64(len(buf)) * 4
+			m.r.sendView(m.sendCh(), buf)
+			m.r.recvSig(m.ackRecv())
 		} else {
-			recv := r.recvView(r.recvCh())
+			recv := m.r.recvView(m.recvCh())
 			copy(buf, recv)
-			r.sendSig(r.ackSend())
+			m.r.sendSig(m.ackSend())
 			if pos < n-1 {
-				r.sentBytes[OpBroadcast] += int64(len(buf)) * 4
-				r.sendView(r.sendCh(), buf)
-				r.recvSig(r.ackRecv())
+				m.r.sentBytes[OpBroadcast] += int64(len(buf)) * 4
+				m.r.sendView(m.sendCh(), buf)
+				m.r.recvSig(m.ackRecv())
 			}
 		}
 	}
-	r.end(OpBroadcast, comm.Broadcast(float64(len(buf)*4), n, r.w.link), t0)
+	m.end(OpBroadcast, comm.Broadcast(float64(len(buf)*4), n, m.g.link), t0)
 }
 
-// AllReduceScalar sums a float64 control value across ranks (loss
-// averaging, global gradient norms) and returns the identical total on
-// every rank. The sum is accumulated in rank order, so the result is
-// deterministic and bit-identical across ranks. Counted under OpScalar
-// in Stats; scalar control traffic is excluded from the wire-byte
-// comparisons against the fsdp simulator, which does not model it.
-func (r *Rank) AllReduceScalar(v float64) float64 {
-	w := r.w
-	if w.n == 1 {
-		if r.id == 0 {
-			w.record(OpScalar, comm.Cost{}, 0)
+func (m member) allReduceScalar(v float64) float64 {
+	g := m.g
+	if g.n == 1 {
+		if m.r.id == 0 {
+			g.w.record(OpScalar, comm.Cost{}, 0)
 		}
 		return v
 	}
-	t0 := r.begin()
-	w.scalars[r.id] = v
-	r.Barrier()
+	t0 := m.begin()
+	g.scalars[m.id] = v
+	g.bar.wait()
 	var total float64
-	for _, x := range w.scalars {
+	for _, x := range g.scalars {
 		total += x
 	}
-	r.Barrier() // the slot table may be reused after every rank has read it
-	r.sentBytes[OpScalar] += 8
-	r.end(OpScalar, comm.AllReduce(8, w.n, w.link), t0)
+	g.bar.wait() // the slot table may be reused after every member has read it
+	m.r.sentBytes[OpScalar] += 8
+	m.end(OpScalar, comm.AllReduce(8, g.n, g.link), t0)
 	return total
 }
 

@@ -41,6 +41,19 @@
 // AllReduce, ReduceScatter and AllGather require len(buf) to be a
 // multiple of the world size so chunks are uniform and the measured
 // volume matches the model exactly; callers pad (see opt.PadTo).
+//
+// # Subgroups
+//
+// World.Subgroup carves a Group — a communicator over a subset of the
+// ranks with its own ring edges, barrier and scalar table — so
+// collectives on disjoint groups run concurrently. This is the
+// two-level communicator structure of HYBRID_SHARD: FULL_SHARD
+// collectives inside each k-rank shard group, a gradient-shard
+// all-reduce across each world/k replica group. Group traffic composes
+// with the World's Stats: bytes are counted against the sending world
+// rank, and model accounting keeps world rank 0's view of the SPMD
+// schedule (in a symmetric schedule every rank sends the same volume,
+// so rank 0's calls are the world's calls).
 package dist
 
 import (
@@ -162,13 +175,15 @@ type World struct {
 
 	ranks []*Rank
 
-	// data[i] carries views from rank i to rank (i+1)%n; ack[i] carries
-	// the matching consumption acknowledgements back from (i+1)%n to i.
-	data []chan []float32
-	ack  []chan struct{}
+	// root is the world-wide Group (all ranks); Rank's collective
+	// methods delegate to it.
+	root *Group
 
-	bar     barrier
-	scalars []float64
+	// subgroup registry: memoized by rank sequence so every member's
+	// Subgroup call resolves to the same communicator.
+	subMu  sync.Mutex
+	subs   map[string]*Group
+	groups []*Group // root + subgroups, for abort propagation
 
 	// abort is closed when a rank dies mid-run so peers parked in a
 	// collective unblock (with ErrAborted) instead of deadlocking.
@@ -194,19 +209,18 @@ func New(n int, opts Options) *World {
 		link = DefaultLink(n)
 	}
 	w := &World{
-		n:       n,
-		link:    link,
-		data:    make([]chan []float32, n),
-		ack:     make([]chan struct{}, n),
-		scalars: make([]float64, n),
-		abort:   make(chan struct{}),
+		n:     n,
+		link:  link,
+		subs:  make(map[string]*Group),
+		abort: make(chan struct{}),
 	}
-	w.bar.init(n)
+	all := make([]int, n)
 	for i := 0; i < n; i++ {
-		w.data[i] = make(chan []float32, 1)
-		w.ack[i] = make(chan struct{}, 1)
+		all[i] = i
 		w.ranks = append(w.ranks, &Rank{w: w, id: i})
 	}
+	w.root = newGroup(w, all, link)
+	w.groups = append(w.groups, w.root)
 	return w
 }
 
@@ -263,18 +277,31 @@ func (w *World) Run(fn func(r *Rank) error) error {
 	return aborted
 }
 
-// doAbort poisons the world: blocked collectives and barriers unblock
-// with ErrAborted.
+// doAbort poisons the world: blocked collectives and barriers — in the
+// world group and every subgroup — unblock with ErrAborted.
 func (w *World) doAbort() {
 	w.abortOnce.Do(func() {
 		close(w.abort)
-		w.bar.doAbort()
+		w.subMu.Lock()
+		gs := append([]*Group(nil), w.groups...)
+		w.subMu.Unlock()
+		for _, g := range gs {
+			g.bar.doAbort()
+		}
 	})
 }
 
 // Stats returns the accumulated measured-vs-modeled accounting. Call it
 // after Run returns (or between Runs); per-rank byte counters are
 // folded in at read time.
+//
+// Subgroup collectives compose into the same report: measured bytes
+// accrue to whichever world rank sent them (the per-op maximum is
+// reported), while calls and model costs are recorded from world rank
+// 0's perspective — the one collective schedule every rank of a
+// symmetric SPMD program executes. A schedule that runs collectives
+// only on groups excluding rank 0 is therefore visible in the measured
+// counters but not in the call/model columns.
 func (w *World) Stats() Stats {
 	w.statsOnce.Lock()
 	defer w.statsOnce.Unlock()

@@ -4,9 +4,11 @@ package fsdp
 // parameter/gradient synchronization — the quantities the discrete-
 // event simulator charges to the communication stream, exposed in
 // closed form so the real execution layer (internal/dist driven by
-// internal/train.PretrainDistributed) can be held to the same numbers:
-// a test asserts the bytes each rank *actually sent* around the ring
-// equal this prediction exactly.
+// internal/train.PretrainDistributed) is held to the same numbers:
+// for every strategy of the Section III-C matrix — DDP/NO_SHARD,
+// SHARD_GRAD_OP, FULL_SHARD and HYBRID_kGPUs — tests assert the bytes
+// each rank *actually sent* around its rings equal this prediction
+// exactly, per step.
 type Traffic struct {
 	// AllReduceBytes is the gradient all-reduce volume (DDP-style
 	// replicated strategies).
@@ -39,7 +41,8 @@ func (t Traffic) Total() float64 {
 // agree exactly rather than approximately.
 //
 // Strategy mapping (matching both Simulate's schedule and the executed
-// PretrainDistributed paths):
+// PretrainDistributed paths, which internal/train's tests pin to these
+// volumes byte for byte):
 //
 //	DDP, NO_SHARD, HYBRID_1GPU — gradients all-reduced across the world
 //	   (bucketing splits calls but not volume);
@@ -47,8 +50,13 @@ func (t Traffic) Total() float64 {
 //	   parameters all-gathered once per step;
 //	FULL_SHARD — as SHARD_GRAD_OP plus a second parameter all-gather
 //	   (params are re-gathered in backward after resharding);
-//	HYBRID_kGPUs (k>1) — FULL_SHARD volumes within the k-rank group,
-//	   plus a gradient-shard all-reduce across the world/k replicas.
+//	HYBRID_kGPUs (k>1) — FULL_SHARD volumes within the k-rank shard
+//	   group, plus a gradient-shard all-reduce across the world/k
+//	   replica groups. The element count pads to a multiple of the
+//	   whole world (shard group × replica group), the alignment the
+//	   executed two-level scheme needs so one flat buffer chunks
+//	   uniformly on the group ring AND each shard chunks uniformly on
+//	   the replica ring (opt.NewPartition's quantum).
 func TrafficPerStep(p Plan, world, paramElems int) Traffic {
 	var t Traffic
 	if world <= 1 || paramElems <= 0 {
@@ -75,10 +83,17 @@ func TrafficPerStep(p Plan, world, paramElems int) Traffic {
 			t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * elemBytes
 			break
 		}
-		v := pad(paramElems, g) * elemBytes
+		repl := world / g
+		if repl < 1 {
+			// A group larger than the world cannot tile it (Validate
+			// rejects it); account the degenerate single whole-world
+			// group rather than dividing by zero.
+			repl = 1
+		}
+		v := pad(paramElems, g*repl) * elemBytes
 		t.ReduceScatterBytes = ringFrac(g) * v
 		t.AllGatherBytes = 2 * ringFrac(g) * v
-		if repl := world / g; repl > 1 {
+		if repl > 1 {
 			t.AllReduceBytes = 2 * ringFrac(repl) * (v / float64(g))
 		}
 	}

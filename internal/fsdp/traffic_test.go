@@ -71,12 +71,19 @@ func TestTrafficHybrid(t *testing.T) {
 	}
 }
 
-// TestTrafficDegenerate: one rank or no params moves nothing.
+// TestTrafficDegenerate: one rank or no params moves nothing, and a
+// hybrid group larger than the world (invalid per Validate, but
+// TrafficPerStep is a pure function callers may probe) stays finite
+// instead of dividing by zero.
 func TestTrafficDegenerate(t *testing.T) {
 	if tr := TrafficPerStep(DefaultDDP(), 1, 100); tr.Total() != 0 {
 		t.Fatalf("world=1 traffic %v", tr.Total())
 	}
 	if tr := TrafficPerStep(DefaultDDP(), 8, 0); tr.Total() != 0 {
 		t.Fatalf("zero params traffic %v", tr.Total())
+	}
+	over := TrafficPerStep(BestPractice(HybridShard, 8), 4, 1<<10)
+	if over.AllReduceBytes != 0 || over.ReduceScatterBytes <= 0 {
+		t.Fatalf("oversized hybrid group traffic %+v", over)
 	}
 }

@@ -285,10 +285,29 @@ func (m *Model) Step(imgs []float32, batch int) float64 {
 
 // StepWithMask is Step with a caller-supplied mask (tests).
 func (m *Model) StepWithMask(imgs []float32, batch int, keep [][]int) float64 {
-	m.SetMask(keep)
-	loss := m.forward(imgs, batch)
-	m.backward(batch)
+	loss := m.ForwardWithMask(imgs, batch, keep)
+	m.BackwardStep()
 	return loss
+}
+
+// ForwardWithMask runs only the forward half of StepWithMask — the
+// reconstruction loss with a caller-supplied mask, activations cached —
+// so a distributed executor can reshard parameters between the halves
+// (FULL_SHARD drops non-owned parameter shards after forward and
+// re-gathers them for backward). Follow with BackwardStep to accumulate
+// gradients.
+func (m *Model) ForwardWithMask(imgs []float32, batch int, keep [][]int) float64 {
+	m.SetMask(keep)
+	return m.forward(imgs, batch)
+}
+
+// BackwardStep runs the backward half for the most recent
+// ForwardWithMask, accumulating parameter gradients from the cached
+// activations and the parameters' current values — which must equal
+// the values forward ran with (a resharding executor restores them via
+// all-gather first).
+func (m *Model) BackwardStep() {
+	m.backward(m.batch)
 }
 
 func (m *Model) forward(imgs []float32, batch int) float64 {

@@ -11,9 +11,11 @@ import (
 // distributed training path (internal/train.PretrainDistributed over
 // internal/dist) shards collectives and optimizer state on: parameters
 // and gradients are packed into one contiguous []float32 in parameter
-// order, padded so the flat length divides evenly across ranks, and a
-// ShardedAdamW instance owns the Adam moments for just one rank's
-// contiguous shard — the ZeRO-1 partitioning of optimizer state.
+// order, padded so the flat length divides evenly across ranks
+// (Partition describes the shard layout, including HYBRID_SHARD's
+// two-level alignment), and a ShardedAdamW instance owns the Adam
+// moments for just one rank's contiguous shard — the ZeRO-1/ZeRO-3
+// partitioning of optimizer state.
 
 // FlatDim returns the total element count across params — the length
 // of the packed flat vector before padding.
@@ -33,6 +35,74 @@ func PadTo(n, world int) int {
 		return n
 	}
 	return (n + world - 1) / world * world
+}
+
+// Partition is the contiguous equal-shard layout of a flat parameter
+// space: Dim packed elements padded to Padded and split into Shards
+// shards of ShardLen elements each. It is the unit-partitioning scheme
+// the FULL_SHARD and HYBRID_SHARD execution paths shard parameters,
+// gradients and optimizer state on.
+type Partition struct {
+	// Dim is the packed element count (FlatDim of the parameter set).
+	Dim int
+	// Shards is how many contiguous shards the padded space splits into
+	// (the sharding-group size).
+	Shards int
+	// Padded is Dim rounded up so that every shard is a whole multiple
+	// of the alignment quantum — for HYBRID_SHARD the quantum is the
+	// full world (shard group × replica group), so the same flat buffer
+	// chunks uniformly at both communicator levels.
+	Padded int
+	// ShardLen is Padded / Shards.
+	ShardLen int
+}
+
+// NewPartition lays out dim flat elements across `shards` shards,
+// padding to a multiple of `align`. align must be a positive multiple
+// of shards (use align == shards when there is no second communicator
+// level). Pad elements beyond Dim belong to the final shard and carry
+// zero gradients and a zero weight-decay mask, so they stay zero
+// through training.
+func NewPartition(dim, shards, align int) Partition {
+	if dim < 0 || shards < 1 {
+		panic(fmt.Sprintf("opt: partition of %d elements into %d shards", dim, shards))
+	}
+	if align < shards || align%shards != 0 {
+		panic(fmt.Sprintf("opt: partition alignment %d is not a multiple of %d shards", align, shards))
+	}
+	p := Partition{Dim: dim, Shards: shards, Padded: PadTo(dim, align)}
+	p.ShardLen = p.Padded / shards
+	return p
+}
+
+// Range returns the flat bounds [lo, hi) of shard i.
+func (p Partition) Range(i int) (lo, hi int) {
+	if i < 0 || i >= p.Shards {
+		panic(fmt.Sprintf("opt: shard %d of %d", i, p.Shards))
+	}
+	return i * p.ShardLen, (i + 1) * p.ShardLen
+}
+
+// Shard returns shard i of a padded flat buffer as a view.
+func (p Partition) Shard(buf []float32, i int) []float32 {
+	if len(buf) != p.Padded {
+		panic(fmt.Sprintf("opt: buffer length %d, partition wants %d", len(buf), p.Padded))
+	}
+	lo, hi := p.Range(i)
+	return buf[lo:hi]
+}
+
+// ScrubOutside zeroes buf outside [lo, hi) — the executed analog of
+// FSDP freeing non-owned parameter shards when a unit is resharded
+// after forward: the subsequent backward all-gather must genuinely
+// restore the dropped values, so a test of the trained trajectory is a
+// test of the collective.
+func ScrubOutside(buf []float32, lo, hi int) {
+	if lo < 0 || hi < lo || hi > len(buf) {
+		panic(fmt.Sprintf("opt: scrub range [%d, %d) of %d", lo, hi, len(buf)))
+	}
+	clear(buf[:lo])
+	clear(buf[hi:])
 }
 
 // PackGrads copies every parameter's gradient into dst in parameter

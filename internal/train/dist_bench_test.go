@@ -13,7 +13,15 @@ import (
 // for the cross-PR perf trajectory.
 func BenchmarkDistStep(b *testing.B) {
 	for _, ranks := range []int{1, 2, 4} {
-		for _, plan := range []fsdp.Plan{fsdp.DefaultDDP(), fsdp.BestPractice(fsdp.ShardGradOp, 0)} {
+		for _, plan := range []fsdp.Plan{
+			fsdp.DefaultDDP(),
+			fsdp.BestPractice(fsdp.ShardGradOp, 0),
+			fsdp.BestPractice(fsdp.FullShard, 0),
+			fsdp.BestPractice(fsdp.HybridShard, 2),
+		} {
+			if plan.Strategy == fsdp.HybridShard && ranks%plan.GroupSize != 0 {
+				continue // the hybrid tiling needs the group to divide the world
+			}
 			b.Run(fmt.Sprintf("%s/ranks=%d", plan.Name(), ranks), func(b *testing.B) {
 				cfg := tinyDistConfig(ranks, plan)
 				cfg.BatchSize = 16

@@ -29,16 +29,19 @@ type DistConfig struct {
 	// Ranks is the data-parallel world size (in-process goroutine
 	// ranks). BatchSize must divide evenly by Ranks.
 	Ranks int
-	// Plan selects the gradient/optimizer synchronization strategy:
+	// Plan selects the gradient/optimizer synchronization strategy —
+	// the full Section III-C matrix executes:
 	//
 	//	DDP, NO_SHARD, HYBRID_1GPU — replicated optimizer; gradients
 	//	    all-reduced (DDP in fixed-size buckets of DDPBucketBytes)
 	//	SHARD_GRAD_OP — ZeRO-1: gradients reduce-scattered, AdamW state
 	//	    sharded per rank, updated parameters all-gathered
+	//	FULL_SHARD — ZeRO-3-style: parameters additionally resharded
+	//	    after forward and re-gathered in backward
+	//	HYBRID_kGPUs (k>1) — FULL_SHARD inside k-rank shard groups,
+	//	    gradient-shard all-reduce across the world/k replica groups
 	//
-	// FULL_SHARD and HYBRID_kGPUs (k>1) reshard parameters inside
-	// forward/backward, which the in-process executor does not do; they
-	// are rejected. The zero value defaults to fsdp.DefaultDDP().
+	// The zero value defaults to fsdp.DefaultDDP().
 	Plan fsdp.Plan
 	// Link is the α–β link model used to price each executed collective
 	// (dist.Stats measured vs modeled). Zero defaults to
@@ -78,13 +81,54 @@ type DistResult struct {
 	replicas []*mae.Model
 }
 
+// execMode is the synchronization schedule a plan compiles to.
+type execMode int
+
+const (
+	// execReplicated: gradients all-reduced, replicated AdamW
+	// (DDP, NO_SHARD, HYBRID_1GPU).
+	execReplicated execMode = iota
+	// execZeRO1: gradients reduce-scattered, rank-sharded AdamW,
+	// updated parameters all-gathered (SHARD_GRAD_OP).
+	execZeRO1
+	// execResharded: as execZeRO1 but parameters are additionally
+	// dropped after forward and re-gathered for backward, inside a
+	// shard group that may be smaller than the world
+	// (FULL_SHARD, HYBRID_kGPUs with k>1).
+	execResharded
+)
+
+// compilePlan maps a validated fsdp.Plan onto the executor's schedule:
+// the mode plus the shard-group size (world for FULL_SHARD, k for
+// HYBRID_kGPUs, irrelevant otherwise).
+func compilePlan(plan fsdp.Plan, ranks int) (execMode, int, error) {
+	switch plan.Strategy {
+	case fsdp.DDP, fsdp.NoShard:
+		return execReplicated, 1, nil
+	case fsdp.ShardGradOp:
+		return execZeRO1, ranks, nil
+	case fsdp.FullShard:
+		return execResharded, ranks, nil
+	case fsdp.HybridShard:
+		if plan.GroupSize == 1 {
+			// HYBRID_1GPU: a sharding group of one is pure data
+			// parallelism — replicated state, world-wide all-reduce.
+			return execReplicated, 1, nil
+		}
+		return execResharded, plan.GroupSize, nil
+	default:
+		return 0, 0, fmt.Errorf("train: unknown strategy %v", plan.Strategy)
+	}
+}
+
 // PretrainDistributed runs MAE pretraining SPMD across cfg.Ranks
 // in-process ranks: seed-identical replicas synchronized by a parameter
 // broadcast at init, a rank-sharded sampler over the same global batch
 // sequence as the single-rank run, per-rank forward/backward with the
 // global batch's mask stream, and gradient/optimizer synchronization
 // per cfg.Plan. The returned model is rank 0's replica (all replicas
-// are bit-identical after every step).
+// are bit-identical after every step — in the hybrid strategies the
+// replica groups' all-reduce makes this hold across shard groups too).
 func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, error) {
 	if err := cfg.MAE.Validate(); err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -105,19 +149,9 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	if plan.Strategy == fsdp.DDP && plan.DDPBucketBytes <= 0 {
 		plan.DDPBucketBytes = fsdp.DefaultDDP().DDPBucketBytes
 	}
-	sharded := false
-	switch plan.Strategy {
-	case fsdp.DDP, fsdp.NoShard:
-	case fsdp.HybridShard:
-		if plan.GroupSize != 1 {
-			return nil, fmt.Errorf("train: HYBRID_%dGPUs shards within sub-groups, which the in-process executor does not run; use DDP/NO_SHARD or SHARD_GRAD_OP", plan.GroupSize)
-		}
-	case fsdp.ShardGradOp:
-		sharded = true
-	case fsdp.FullShard:
-		return nil, fmt.Errorf("train: FULL_SHARD re-gathers parameters inside forward/backward, which the in-process executor does not run; use SHARD_GRAD_OP (ZeRO-1)")
-	default:
-		return nil, fmt.Errorf("train: unknown strategy %v", plan.Strategy)
+	mode, group, err := compilePlan(plan, cfg.Ranks)
+	if err != nil {
+		return nil, err
 	}
 	if err := plan.Validate(cfg.Ranks); err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -146,7 +180,7 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	models := make([]*mae.Model, n)
 
 	start := time.Now()
-	err := world.Run(func(r *dist.Rank) error {
+	err = world.Run(func(r *dist.Rank) error {
 		// Every rank builds a replica from the same seed (which also
 		// locks the mask streams together); the broadcast then enforces
 		// bit-identical parameters from rank 0 regardless of how the
@@ -155,7 +189,42 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		models[r.ID()] = model
 		params := model.Params()
 		dim := opt.FlatDim(params)
-		padded := opt.PadTo(dim, n)
+
+		// Shard layout and communicators. The replicated mode shards
+		// nothing but still pads the flat gradient for uniform ring
+		// chunks; the sharded modes partition the padded space across
+		// the shard group, aligned so HYBRID's replica-group ring over
+		// one shard also chunks uniformly.
+		var (
+			shardGroup *dist.Group // FULL_SHARD collectives (sharded modes)
+			replGroup  *dist.Group // HYBRID gradient all-reduce across shard groups
+			part       opt.Partition
+			lo, hi     int
+		)
+		switch mode {
+		case execReplicated:
+			part = opt.NewPartition(dim, 1, n)
+		default:
+			repl := n / group
+			part = opt.NewPartition(dim, group, group*repl)
+			// Shard groups are consecutive rank blocks (the paper's
+			// intra-node placement); replica groups stride across them.
+			first := r.ID() / group * group
+			members := make([]int, group)
+			for i := range members {
+				members[i] = first + i
+			}
+			shardGroup = world.Subgroup(members)
+			lo, hi = part.Range(r.ID() - first)
+			if mode == execResharded && repl > 1 {
+				peers := make([]int, repl)
+				for i := range peers {
+					peers[i] = r.ID()%group + i*group
+				}
+				replGroup = world.Subgroup(peers)
+			}
+		}
+		padded := part.Padded
 
 		initBuf := make([]float32, dim)
 		if r.ID() == 0 {
@@ -165,19 +234,17 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		opt.UnpackValues(params, initBuf)
 
 		flatG := make([]float32, padded)
-		shardLen := padded / n
-		lo := r.ID() * shardLen
 		var (
 			optim    *opt.AdamW
 			shardOpt *opt.ShardedAdamW
 			flatW    []float32
 		)
-		if sharded {
-			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, lo, lo+shardLen)
+		if mode == execReplicated {
+			optim = opt.NewAdamW(params, cfg.WeightDecay)
+		} else {
+			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, lo, hi)
 			flatW = make([]float32, padded)
 			opt.PackValues(flatW, params)
-		} else {
-			optim = opt.NewAdamW(params, cfg.WeightDecay)
 		}
 
 		// DDP buckets: fixed-size spans of the flat gradient, rounded
@@ -213,7 +280,25 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 				// mask sequence matches the single-rank run.
 				keep := model.DrawMasksRange(cfg.BatchSize, r.ID()*local, (r.ID()+1)*local)
 				nn.ZeroGrads(params)
-				loss := model.StepWithMask(batch.Images, batch.Size, keep)
+				var loss float64
+				if mode == execResharded {
+					loss = model.ForwardWithMask(batch.Images, batch.Size, keep)
+					// Reshard after forward: drop every parameter
+					// shard this rank does not own from the flat
+					// mirror, exactly as FULL_SHARD frees gathered
+					// units. Backward reads the live tensors from the
+					// re-gathered mirror, so the all-gather must
+					// genuinely restore the dropped shards — if it
+					// moved wrong bytes, the zeros would reach the
+					// model and the loss trajectory (checked against
+					// the single-rank run) would diverge.
+					opt.ScrubOutside(flatW, lo, hi)
+					shardGroup.AllGather(r, flatW, nil)
+					opt.UnpackValues(params, flatW)
+					model.BackwardStep()
+				} else {
+					loss = model.StepWithMask(batch.Images, batch.Size, keep)
+				}
 
 				// Local gradients are means over the local batch; the
 				// 1/n scale turns the cross-rank sum into the global
@@ -224,21 +309,7 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 				}
 
 				lr := sched.LR(step)
-				if sharded {
-					gShard := r.ReduceScatter(flatG)
-					if cfg.ClipNorm > 0 {
-						// Global-norm clipping over the sharded
-						// gradient: shard sums of squares all-reduce to
-						// the same total the single-rank clip computes.
-						norm := math.Sqrt(r.AllReduceScalar(sumSq(gShard)))
-						if norm > cfg.ClipNorm && norm > 0 {
-							tensor.Scale(gShard, gShard, float32(cfg.ClipNorm/norm))
-						}
-					}
-					shardOpt.Step(lr, flatW[lo:lo+shardLen], gShard)
-					r.AllGather(flatW, nil)
-					opt.UnpackValues(params, flatW)
-				} else {
+				if mode == execReplicated {
 					for off := 0; off < padded; off += bucketElems {
 						end := off + bucketElems
 						if end > padded {
@@ -251,6 +322,34 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 						nn.ClipGradNorm(params, cfg.ClipNorm)
 					}
 					optim.Step(lr)
+				} else {
+					gShard := shardGroup.ReduceScatter(r, flatG)
+					if replGroup != nil {
+						// HYBRID: the shard groups hold group-local
+						// gradient sums; all-reducing each shard across
+						// its replica group completes the global mean.
+						replGroup.AllReduce(r, gShard)
+					}
+					if cfg.ClipNorm > 0 {
+						// Global-norm clipping over the sharded
+						// gradient: the shard group's members hold
+						// disjoint shards covering the whole flat
+						// space, so their sums of squares all-reduce to
+						// the same total the single-rank clip computes.
+						norm := math.Sqrt(shardGroup.AllReduceScalar(r, sumSq(gShard)))
+						if norm > cfg.ClipNorm && norm > 0 {
+							tensor.Scale(gShard, gShard, float32(cfg.ClipNorm/norm))
+						}
+					}
+					shardOpt.Step(lr, flatW[lo:hi], gShard)
+					// Re-assemble the updated parameters. For the
+					// resharded strategies this all-gather is the next
+					// forward's parameter gather executed eagerly (the
+					// executed analog of FSDP's prefetching): per-step
+					// volumes are unchanged and every step ends with
+					// bit-identical assembled replicas.
+					shardGroup.AllGather(r, flatW, nil)
+					opt.UnpackValues(params, flatW)
 				}
 
 				gLoss := r.AllReduceScalar(loss) / float64(n)

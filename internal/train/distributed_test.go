@@ -173,16 +173,20 @@ func TestSingleRankDistributedMatchesPretrain(t *testing.T) {
 	}
 }
 
-// TestDistributedRejectsUnsupportedPlans: strategies whose schedule the
-// executor cannot honor fail fast with a pointer to the supported ones.
-func TestDistributedRejectsUnsupportedPlans(t *testing.T) {
-	for _, plan := range []fsdp.Plan{
-		fsdp.BestPractice(fsdp.FullShard, 0),
-		fsdp.BestPractice(fsdp.HybridShard, 2),
-	} {
-		if _, err := PretrainDistributed(tinyDistConfig(4, plan), tinyDataset(64)); err == nil {
-			t.Errorf("%s: expected an error", plan.Name())
-		}
+// TestDistributedRejectsInvalidPlans: configurations the executor
+// cannot honor fail fast before any rank spawns.
+func TestDistributedRejectsInvalidPlans(t *testing.T) {
+	// A hybrid group that does not divide the world.
+	if _, err := PretrainDistributed(tinyDistConfig(4, fsdp.BestPractice(fsdp.HybridShard, 3)), tinyDataset(64)); err == nil {
+		t.Error("HYBRID_3GPUs on 4 ranks: expected an error")
+	}
+	// A non-positive hybrid group.
+	if _, err := PretrainDistributed(tinyDistConfig(4, fsdp.Plan{Strategy: fsdp.HybridShard}), tinyDataset(64)); err == nil {
+		t.Error("HYBRID with zero group: expected an error")
+	}
+	// An unknown strategy value.
+	if _, err := PretrainDistributed(tinyDistConfig(4, fsdp.Plan{Strategy: fsdp.Strategy(99)}), tinyDataset(64)); err == nil {
+		t.Error("unknown strategy: expected an error")
 	}
 	// Batch not divisible by ranks.
 	cfg := tinyDistConfig(3, fsdp.DefaultDDP())

@@ -1,0 +1,171 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fsdp"
+	"repro/internal/opt"
+)
+
+// matrixPlans is the executed Section III-C strategy matrix: the
+// replicated baseline, ZeRO-1, ZeRO-3-style full sharding, and the
+// two-level hybrid scheme at two group sizes.
+func matrixPlans() []fsdp.Plan {
+	return []fsdp.Plan{
+		fsdp.DefaultDDP(),
+		fsdp.BestPractice(fsdp.ShardGradOp, 0),
+		fsdp.BestPractice(fsdp.FullShard, 0),
+		fsdp.BestPractice(fsdp.HybridShard, 2),
+		fsdp.BestPractice(fsdp.HybridShard, 4),
+	}
+}
+
+// TestStrategyMatrix is the acceptance bar of the full strategy matrix:
+// every strategy × world-size combination must (a) reproduce the
+// single-rank Pretrain loss trajectory within 1e-4 at every step,
+// (b) leave every rank's replica bit-identical — which for the hybrid
+// strategies includes replicas in *different* shard groups, so the
+// replica-group all-reduce provably completes the global gradient —
+// and (c) put exactly the per-step wire bytes on its rings that
+// fsdp.TrafficPerStep charges the simulated run.
+func TestStrategyMatrix(t *testing.T) {
+	base := tinyDistConfig(1, fsdp.DefaultDDP())
+	base.Epochs = 2
+	ref, err := Pretrain(base.PretrainConfig, tinyDataset(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, world := range []int{2, 4, 8} {
+		for _, plan := range matrixPlans() {
+			if plan.Strategy == fsdp.HybridShard && world%plan.GroupSize != 0 {
+				continue // HYBRID_4GPUs cannot tile a 2-rank world
+			}
+			t.Run(fmt.Sprintf("%s/world=%d", plan.Name(), world), func(t *testing.T) {
+				cfg := tinyDistConfig(world, plan)
+				cfg.Epochs = 2
+				res, err := PretrainDistributed(cfg, tinyDataset(32))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Steps != ref.Steps {
+					t.Fatalf("steps: distributed %d, single-rank %d", res.Steps, ref.Steps)
+				}
+				// (a) per-step loss agreement with the single-rank run.
+				for i := range ref.LossCurve.Y {
+					if !relClose(res.LossCurve.Y[i], ref.LossCurve.Y[i], 1e-4) {
+						t.Fatalf("loss diverges at step %d: distributed %v, single-rank %v",
+							i, res.LossCurve.Y[i], ref.LossCurve.Y[i])
+					}
+				}
+				// (b) bit-identical replicas on every rank.
+				dim := opt.FlatDim(res.Model.Params())
+				refW := make([]float32, dim)
+				opt.PackValues(refW, res.Model.Params())
+				buf := make([]float32, dim)
+				for rank := 1; rank < len(res.replicas); rank++ {
+					opt.PackValues(buf, res.replicas[rank].Params())
+					for j := range buf {
+						if buf[j] != refW[j] {
+							t.Fatalf("rank %d diverged from rank 0 at flat element %d", rank, j)
+						}
+					}
+				}
+				// (c) measured wire bytes equal the simulator's per-step
+				// accounting exactly.
+				steps := float64(res.Steps)
+				checks := []struct {
+					name           string
+					measured, want float64
+				}{
+					{"all-reduce", res.Comm.AllReduce.MeasuredWireBytes, res.Traffic.AllReduceBytes * steps},
+					{"reduce-scatter", res.Comm.ReduceScatter.MeasuredWireBytes, res.Traffic.ReduceScatterBytes * steps},
+					{"all-gather", res.Comm.AllGather.MeasuredWireBytes, res.Traffic.AllGatherBytes * steps},
+				}
+				for _, c := range checks {
+					if c.measured != c.want {
+						t.Errorf("%s: measured %v bytes over %v steps, simulator accounts %v",
+							c.name, c.measured, steps, c.want)
+					}
+					// The α–β model prices the same volume it measures.
+				}
+				if res.Comm.AllGather.ModelWireBytes != res.Comm.AllGather.MeasuredWireBytes {
+					t.Errorf("modeled AG bytes %v != measured %v",
+						res.Comm.AllGather.ModelWireBytes, res.Comm.AllGather.MeasuredWireBytes)
+				}
+				if res.Comm.ReduceScatter.ModelWireBytes != res.Comm.ReduceScatter.MeasuredWireBytes {
+					t.Errorf("modeled RS bytes %v != measured %v",
+						res.Comm.ReduceScatter.ModelWireBytes, res.Comm.ReduceScatter.MeasuredWireBytes)
+				}
+			})
+		}
+	}
+}
+
+// TestFullShardMatchesZeRO1Bitwise: FULL_SHARD differs from
+// SHARD_GRAD_OP only by dropping non-owned parameter shards after
+// forward and re-gathering them for backward. The re-gather must
+// restore the exact bytes forward ran with, so the two trajectories are
+// not merely close — they are identical. A single flipped bit anywhere
+// in the backward all-gather fails this test.
+func TestFullShardMatchesZeRO1Bitwise(t *testing.T) {
+	zero1, err := PretrainDistributed(tinyDistConfig(4, fsdp.BestPractice(fsdp.ShardGradOp, 0)), tinyDataset(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := PretrainDistributed(tinyDistConfig(4, fsdp.BestPractice(fsdp.FullShard, 0)), tinyDataset(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range zero1.LossCurve.Y {
+		if full.LossCurve.Y[i] != zero1.LossCurve.Y[i] {
+			t.Fatalf("FULL_SHARD loss differs from SHARD_GRAD_OP at step %d: %v vs %v",
+				i, full.LossCurve.Y[i], zero1.LossCurve.Y[i])
+		}
+	}
+	dim := opt.FlatDim(zero1.Model.Params())
+	a := make([]float32, dim)
+	b := make([]float32, dim)
+	opt.PackValues(a, zero1.Model.Params())
+	opt.PackValues(b, full.Model.Params())
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("final parameters differ at flat element %d", j)
+		}
+	}
+	// And FULL_SHARD pays exactly one extra parameter all-gather per
+	// step for the privilege.
+	if full.Traffic.AllGatherBytes != 2*zero1.Traffic.AllGatherBytes {
+		t.Fatalf("FULL_SHARD AG traffic %v, want twice ZeRO-1's %v",
+			full.Traffic.AllGatherBytes, zero1.Traffic.AllGatherBytes)
+	}
+}
+
+// TestHybridCollectiveMix pins the hybrid schedule's shape itself: a
+// HYBRID_2GPUs run on 4 ranks must issue, per step, one shard-group
+// reduce-scatter, two shard-group all-gathers, and one replica-group
+// all-reduce — no more, no fewer — alongside the single init broadcast.
+func TestHybridCollectiveMix(t *testing.T) {
+	cfg := tinyDistConfig(4, fsdp.BestPractice(fsdp.HybridShard, 2))
+	cfg.Epochs = 2
+	res, err := PretrainDistributed(cfg, tinyDataset(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := res.Steps
+	if steps == 0 {
+		t.Fatal("no steps")
+	}
+	if got := res.Comm.ReduceScatter.Calls; got != steps {
+		t.Errorf("reduce-scatter calls %d, want %d", got, steps)
+	}
+	if got := res.Comm.AllGather.Calls; got != 2*steps {
+		t.Errorf("all-gather calls %d, want %d", got, 2*steps)
+	}
+	if got := res.Comm.AllReduce.Calls; got != steps {
+		t.Errorf("replica all-reduce calls %d, want %d", got, steps)
+	}
+	if got := res.Comm.Broadcast.Calls; got != 1 {
+		t.Errorf("broadcast calls %d, want 1", got)
+	}
+}
