@@ -23,6 +23,7 @@ test-all:
 
 race:
 	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./geofm/ ./cmd/pretrain/
+	$(GO) test -race -run BF16 ./internal/tensor/
 
 # Docs gate: formatting, vet, and a package comment on every package.
 docs:

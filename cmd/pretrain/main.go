@@ -9,10 +9,13 @@
 //	pretrain -model ViT-1B -image 32 -patch 8 -epochs 20 -out vit1b.ckpt
 //	pretrain -model ViT-Base -ranks 4 -strategy zero1 -epochs 4
 //	pretrain -model ViT-Base -ranks 8 -strategy hybrid:4 -epochs 4
+//	pretrain -model ViT-Base -ranks 4 -strategy zero1 -precision bf16
 //
 // -batch is the global batch size; with -ranks N each rank trains
-// batch/N samples per step. -strategy selects the synchronization
-// schedule — the paper's full Section III-C matrix:
+// batch/N samples per step. -precision selects fp32 or the executed
+// bf16 mixed-precision mode (bf16 wire payloads at half the bytes,
+// fp32 master weights, dynamic loss scaling). -strategy selects the
+// synchronization schedule — the paper's full Section III-C matrix:
 //
 //	ddp       bucketed gradient all-reduce, replicated optimizer
 //	zero1     reduce-scattered gradients, rank-sharded AdamW state,
@@ -48,6 +51,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	ranks := flag.Int("ranks", 1, "data-parallel world size (in-process ranks)")
 	strategy := flag.String("strategy", "ddp", "gradient sync for -ranks > 1: "+acceptedStrategies)
+	precision := flag.String("precision", "fp32", "numeric mode: "+acceptedPrecisions)
 	out := flag.String("out", "", "checkpoint output path (optional)")
 	flag.Parse()
 
@@ -69,16 +73,23 @@ func main() {
 	fmt.Printf("pretraining %s (%d parameters) on %s (%d images)\n",
 		enc.Name, enc.EncoderParams(), suite.Pretrain.Name, suite.Pretrain.TrainCount)
 
-	// Resolve -strategy up front so a typo fails fast even at -ranks 1.
+	// Resolve -strategy and -precision up front so a typo fails fast
+	// even at -ranks 1.
 	plan, err := parsePlan(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	prec, err := parsePrecision(*precision)
 	if err != nil {
 		fatal(err)
 	}
 
 	var res *geofm.PretrainResult
-	if *ranks > 1 {
-		dcfg := geofm.DistPretrainConfig{PretrainConfig: cfg, Ranks: *ranks, Plan: plan}
-		fmt.Printf("executing %d ranks, %s, local batch %d\n", *ranks, plan.Name(), *batch / *ranks)
+	// BF16 is implemented by the distributed executor (master weights,
+	// loss scaling, bf16 wire), so it routes through it even at 1 rank.
+	if *ranks > 1 || prec == geofm.BF16 {
+		dcfg := geofm.DistPretrainConfig{PretrainConfig: cfg, Ranks: *ranks, Plan: plan, Precision: prec}
+		fmt.Printf("executing %d ranks, %s, %s, local batch %d\n", *ranks, plan.Name(), prec, *batch / *ranks)
 		dres, err := geofm.PretrainDistributed(dcfg, suite.Pretrain)
 		if err != nil {
 			fatal(err)
@@ -105,6 +116,21 @@ func main() {
 // acceptedStrategies is the full -strategy vocabulary; parse errors
 // quote it so a typo never silently falls back to a default.
 const acceptedStrategies = "ddp | zero1 | full | hybrid:k"
+
+// acceptedPrecisions is the full -precision vocabulary.
+const acceptedPrecisions = "fp32 | bf16"
+
+// parsePrecision maps a -precision spelling onto its executed mode.
+func parsePrecision(s string) (geofm.Precision, error) {
+	switch s {
+	case "fp32":
+		return geofm.FP32, nil
+	case "bf16":
+		return geofm.BF16, nil
+	default:
+		return geofm.FP32, fmt.Errorf("unknown -precision %q (want %s)", s, acceptedPrecisions)
+	}
+}
 
 // parsePlan maps a -strategy spelling onto its fsdp plan.
 func parsePlan(s string) (geofm.Plan, error) {

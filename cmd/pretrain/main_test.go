@@ -91,3 +91,74 @@ func TestCommTableGolden(t *testing.T) {
 		t.Errorf("comm table drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
 }
+
+// TestParsePrecision pins the -precision vocabulary and its fail-fast
+// behaviour.
+func TestParsePrecision(t *testing.T) {
+	if p, err := parsePrecision("fp32"); err != nil || p != geofm.FP32 {
+		t.Errorf("parsePrecision(fp32) = %v, %v", p, err)
+	}
+	if p, err := parsePrecision("bf16"); err != nil || p != geofm.BF16 {
+		t.Errorf("parsePrecision(bf16) = %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "FP32", "bf-16", "fp16", "half"} {
+		_, err := parsePrecision(bad)
+		if err == nil {
+			t.Errorf("parsePrecision(%q): expected an error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), acceptedPrecisions) {
+			t.Errorf("parsePrecision(%q) error %q does not name the accepted set", bad, err)
+		}
+	}
+}
+
+// TestCommTableGoldenBF16 is the bf16 twin of TestCommTableGolden: the
+// identical 4-rank HYBRID_2GPUs run under -precision bf16 must report
+// exactly half the per-step wire bytes on every gradient/parameter
+// collective — measured, modeled and simulated alike.
+func TestCommTableGoldenBF16(t *testing.T) {
+	enc := geofm.ViTConfig{Name: "tiny", Width: 16, Depth: 2, MLP: 32, Heads: 2,
+		PatchSize: 4, ImageSize: 12, Channels: 3}
+	cfg := geofm.DefaultPretrain(geofm.MAEConfig{Encoder: enc,
+		DecoderWidth: 8, DecoderDepth: 1, DecoderHeads: 2, MaskRatio: 0.75})
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8
+	cfg.Workers = 2
+	cfg.Seed = 1
+	plan, err := parsePlan("hybrid:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := parsePrecision("bf16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := geofm.DistPretrainConfig{
+		PretrainConfig: cfg,
+		Ranks:          4,
+		Plan:           plan,
+		Precision:      prec,
+		Link:           geofm.CommParams{Bandwidth: 50e9, HopLat: 1e-6, Launch: 2e-5},
+	}
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	res, err := geofm.PretrainDistributed(dcfg, suite.Pretrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	writeComm(&b, res)
+	const golden = `collective traffic (4 ranks, 2 steps):
+  op                 calls  sent MiB/rank      model MiB   model time
+  broadcast              1           0.03           0.03        0.0ms
+  all-reduce             2           0.01           0.01        0.0ms
+  reduce-scatter         2           0.01           0.01        0.0ms
+  all-gather             4           0.03           0.03        0.1ms
+  per-step bytes vs fsdp simulator: AR 6728/6728  RS 6728/6728  AG 13456/13456
+`
+	if got := b.String(); got != golden {
+		t.Errorf("comm table drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

@@ -161,16 +161,52 @@ func ExamplePretrainDistributed_hybrid() {
 }
 
 // ExamplePredictStepTraffic prints the per-rank wire bytes one step
-// moves for a million-parameter model under DDP and ZeRO-1 on 8 ranks.
+// moves for a million-parameter model under DDP and ZeRO-1 on 8 ranks,
+// in both precisions — bf16 halves every volume.
 func ExamplePredictStepTraffic() {
 	const elems = 1 << 20
-	ddp := geofm.PredictStepTraffic(geofm.DefaultDDP(), 8, elems)
-	zero1 := geofm.PredictStepTraffic(geofm.BestPractice(geofm.ShardGradOp, 0), 8, elems)
+	ddp := geofm.PredictStepTraffic(geofm.DefaultDDP(), 8, elems, geofm.FP32)
+	zero1 := geofm.PredictStepTraffic(geofm.BestPractice(geofm.ShardGradOp, 0), 8, elems, geofm.FP32)
+	bf := geofm.PredictStepTraffic(geofm.DefaultDDP(), 8, elems, geofm.BF16)
 	fmt.Println("ddp all-reduce MiB:", ddp.AllReduceBytes/(1<<20))
 	fmt.Println("zero1 reduce-scatter MiB:", zero1.ReduceScatterBytes/(1<<20))
 	fmt.Println("zero1 all-gather MiB:", zero1.AllGatherBytes/(1<<20))
+	fmt.Println("ddp bf16 all-reduce MiB:", bf.AllReduceBytes/(1<<20))
 	// Output:
 	// ddp all-reduce MiB: 7
 	// zero1 reduce-scatter MiB: 3.5
 	// zero1 all-gather MiB: 3.5
+	// ddp bf16 all-reduce MiB: 3.5
+}
+
+// ExamplePretrainDistributed_bf16 runs the executed mixed-precision
+// mode: bf16 payloads on every gradient/parameter collective (half the
+// fp32 wire bytes, still exactly the dtype-aware simulator accounting),
+// fp32 master weights under dynamic loss scaling.
+func ExamplePretrainDistributed_bf16() {
+	suite := geofm.NewSuite(1000, 12, 3, 1)
+	cfg := geofm.DefaultDistPretrain(tinyMAE(), 4)
+	cfg.Epochs = 1
+	cfg.MaxStepsPerEpoch = 2
+	cfg.BatchSize = 8
+	cfg.Plan = geofm.BestPractice(geofm.ShardGradOp, 0)
+	cfg.Precision = geofm.BF16
+	res, err := geofm.PretrainDistributed(cfg, suite.Pretrain)
+	if err != nil {
+		panic(err)
+	}
+	steps := float64(res.Steps)
+	fp32 := geofm.PredictStepTraffic(cfg.Plan, cfg.Ranks, geofm.FlatParamCount(res.Model), geofm.FP32)
+	fmt.Println("precision:", res.Precision)
+	fmt.Println("measured == simulator accounting:",
+		res.Comm.ReduceScatter.MeasuredWireBytes == res.Traffic.ReduceScatterBytes*steps &&
+			res.Comm.AllGather.MeasuredWireBytes == res.Traffic.AllGatherBytes*steps)
+	fmt.Println("bf16 wire bytes are half of fp32:",
+		2*res.Traffic.ReduceScatterBytes == fp32.ReduceScatterBytes)
+	fmt.Println("loss scale:", res.FinalLossScale)
+	// Output:
+	// precision: bf16
+	// measured == simulator accounting: true
+	// bf16 wire bytes are half of fp32: true
+	// loss scale: 65536
 }

@@ -26,6 +26,8 @@ import (
 	"repro/internal/geodata"
 	"repro/internal/hw"
 	"repro/internal/mae"
+	"repro/internal/nn"
+	"repro/internal/opt"
 	"repro/internal/perfmodel"
 	"repro/internal/probe"
 	"repro/internal/rng"
@@ -79,6 +81,10 @@ func DefaultMAE(enc ViTConfig) MAEConfig { return mae.Default(enc) }
 // NewMAE constructs a trainable model with weights from the given seed.
 func NewMAE(cfg MAEConfig, seed uint64) *MAEModel { return mae.New(cfg, rng.New(seed)) }
 
+// FlatParamCount returns a model's total trainable element count — the
+// paramElems argument PredictStepTraffic expects.
+func FlatParamCount(m *MAEModel) int { return opt.FlatDim(m.Params()) }
+
 // PretrainConfig carries pretraining hyper-parameters.
 type PretrainConfig = train.PretrainConfig
 
@@ -94,11 +100,16 @@ func Pretrain(cfg PretrainConfig, ds *Dataset) (*PretrainResult, error) {
 	return train.Pretrain(cfg, ds)
 }
 
-// SaveCheckpoint / LoadCheckpoint persist model parameters.
-var (
-	SaveCheckpoint = train.SaveParamsFile
-	LoadCheckpoint = train.LoadParamsFile
-)
+// SaveCheckpoint persists model parameters to path.
+func SaveCheckpoint(path string, params []*nn.Param, step int) error {
+	return train.SaveParamsFile(path, params, step)
+}
+
+// LoadCheckpoint restores model parameters from path, returning the
+// saved step.
+func LoadCheckpoint(path string, params []*nn.Param) (int, error) {
+	return train.LoadParamsFile(path, params)
+}
 
 // ---- Distributed execution (real multi-rank training) ------------------
 
@@ -128,6 +139,39 @@ type CommOpStats = dist.OpStats
 // CommParams bundles link characteristics for the α–β cost model.
 type CommParams = comm.Params
 
+// Precision selects the numeric mode of an executed distributed run:
+// FP32, or the BF16 mixed-precision recipe the paper trains with (bf16
+// working weights and collective payloads at half the wire bytes, fp32
+// master weights and Adam state, dynamic loss scaling).
+type Precision = train.Precision
+
+// The executed precisions.
+const (
+	FP32 = train.FP32
+	BF16 = train.BF16
+)
+
+// LossScaleConfig tunes BF16 dynamic loss scaling (zero fields take
+// the defaults: 2¹⁶ initial scale, ×2 growth, ×0.5 backoff).
+type LossScaleConfig = train.LossScaleConfig
+
+// TrainState is the resumable mid-run training state a distributed run
+// returns (DistPretrainResult.State) and accepts
+// (DistPretrainConfig.Resume): fp32 master weights, Adam moments, step
+// counters and the loss-scale schedule point. A resumed run continues
+// bitwise-identically to one that never stopped.
+type TrainState = train.TrainState
+
+// SaveTrainState persists a resumable training state to path.
+func SaveTrainState(path string, st *TrainState) error {
+	return train.SaveTrainStateFile(path, st)
+}
+
+// LoadTrainState restores a resumable training state from path.
+func LoadTrainState(path string) (*TrainState, error) {
+	return train.LoadTrainStateFile(path)
+}
+
 // DefaultDistPretrain returns the paper's pretraining recipe split
 // across ranks with the DDP baseline plan.
 func DefaultDistPretrain(m MAEConfig, ranks int) DistPretrainConfig {
@@ -151,10 +195,11 @@ type StepTraffic = fsdp.Traffic
 
 // PredictStepTraffic returns the per-step collective bytes the Section
 // IV simulator charges for a model of paramElems parameters under the
-// plan — the numbers an executed PretrainDistributed run's measured
-// counters match exactly.
-func PredictStepTraffic(p Plan, world, paramElems int) StepTraffic {
-	return fsdp.TrafficPerStep(p, world, paramElems)
+// plan at the given precision's wire width — the numbers an executed
+// PretrainDistributed run's measured counters match exactly (BF16 runs
+// move exactly half of FP32's bytes).
+func PredictStepTraffic(p Plan, world, paramElems int, prec Precision) StepTraffic {
+	return fsdp.TrafficPerStep(p, world, paramElems, prec.WireBytes())
 }
 
 // ---- Datasets ----------------------------------------------------------

@@ -156,6 +156,23 @@ type batchJob struct {
 	done    chan struct{}
 }
 
+// SkipEpochs advances the loader's shuffle stream as if k epochs had
+// been drawn and fully discarded — no samples are rendered and no
+// workers launch. A run resuming from a step-k·BatchesPerEpoch
+// checkpoint calls this once so its subsequent epochs reproduce the
+// exact per-epoch sample orders the uninterrupted run saw (the shuffle
+// consumes the deterministic seed stream per epoch, independent of the
+// array contents).
+func (l *Loader) SkipEpochs(k int) {
+	if !l.shuffle || k <= 0 {
+		return
+	}
+	order := make([]int, l.src.Len())
+	for e := 0; e < k; e++ {
+		l.rng.Shuffle(order)
+	}
+}
+
 // Epoch launches workers for one pass over the data and returns a
 // channel of batches in deterministic order. The caller must drain the
 // channel (or consume it fully) for the workers to exit.

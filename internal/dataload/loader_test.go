@@ -302,3 +302,50 @@ func TestShardedAlwaysDropsPartialGlobalBatch(t *testing.T) {
 		t.Fatalf("got %d batches, want %d", n, 70/16)
 	}
 }
+
+// TestSkipEpochsMatchesDrainedEpochs: skipping k epochs advances the
+// shuffle stream exactly as drawing and discarding them would, so a
+// resumed loader reproduces the uninterrupted loader's k-th epoch order
+// label for label.
+func TestSkipEpochsMatchesDrainedEpochs(t *testing.T) {
+	labels := func(l *Loader) []int {
+		var out []int
+		for b := range l.Epoch() {
+			out = append(out, b.Labels[:b.Size]...)
+			l.Recycle(b)
+		}
+		return out
+	}
+	src := newCountingSource(64, 2)
+	cfg := Config{BatchSize: 8, Workers: 2, Shuffle: true, DropLast: true, Seed: 9}
+
+	ref := New(src, cfg)
+	for i := 0; i < 2; i++ { // drain two epochs the slow way
+		for b := range ref.Epoch() {
+			ref.Recycle(b)
+		}
+	}
+	want := labels(ref) // the third epoch's order
+
+	skipped := New(src, cfg)
+	skipped.SkipEpochs(2)
+	got := labels(skipped)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("epoch order diverges at sample %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	// With shuffling off SkipEpochs is a no-op: samples still arrive in
+	// index order (labels are index mod 7 for the counting source).
+	noshuffle := New(src, Config{BatchSize: 8, Shuffle: false, Seed: 9})
+	noshuffle.SkipEpochs(3)
+	for i, lab := range labels(noshuffle) {
+		if lab != i%7 {
+			t.Fatalf("unshuffled loader out of order after SkipEpochs: sample %d has label %d", i, lab)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package dist
+
+import (
+	"fmt"
+
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// bf16 wire mode: the same ring algorithms as the float32 collectives,
+// but every view that crosses a ring edge is a []uint16 of bf16
+// payloads — exactly half the bytes — while reduction arithmetic stays
+// in the caller's float32 buffer. This reproduces how RCCL moves
+// bf16 gradients on Frontier: the wire dtype is bf16, each rank's
+// accumulation happens at higher effective precision, and the chunk a
+// rank forwards is the round-nearest-even bf16 image of its current
+// fp32 partial sum.
+//
+// Determinism: the ring fixes the accumulation order, and bf16
+// rounding is a pure function, so for a given world size every rank
+// computes bit-identical results — all-reduce and all-gather leave all
+// ranks with the same bf16-valued float32s.
+//
+// Accounting: both the measured counters and the α–β model price these
+// calls at 2 bytes per element, so `measured == modeled` and
+// `measured == fsdp.TrafficPerStep(..., 2)` hold exactly, mirroring
+// the fp32 mode's invariants at half the volume.
+
+// bf16WireBytes is the wire width of a bf16 element.
+const bf16WireBytes = 2
+
+// AllReduceBF16 sums buf element-wise across all ranks with bf16 wire
+// payloads: ring reduce-scatter (fp32 accumulation of widened bf16
+// chunks) followed by ring all-gather of the bf16-rounded reduced
+// shards. Every rank ends with the identical, bf16-valued result in
+// buf. wire is caller-provided uint16 scratch with len(wire) ==
+// len(buf); len(buf) must be a multiple of the world size.
+func (r *Rank) AllReduceBF16(buf []float32, wire []uint16) {
+	r.w.root.on(r).allReduceBF16(buf, wire)
+}
+
+// ReduceScatterBF16 is ReduceScatter over the bf16 wire: the returned
+// view (chunk r.ID() of buf) holds this rank's fp32 accumulation of the
+// bf16 partial sums the ring delivered. The other chunks of buf are
+// garbage afterwards. wire is uint16 scratch with len(wire) ==
+// len(buf).
+func (r *Rank) ReduceScatterBF16(buf []float32, wire []uint16) []float32 {
+	return r.w.root.on(r).reduceScatterBF16(buf, wire, OpReduceScatter, true)
+}
+
+// AllGatherBF16 is AllGather over the bf16 wire. Every contribution is
+// rounded to bf16 before it travels — including the caller's own chunk,
+// which is rewritten in place with its widened bf16 value so all ranks
+// hold bit-identical buffers afterwards. wire is uint16 scratch with
+// len(wire) == len(buf).
+func (r *Rank) AllGatherBF16(buf, shard []float32, wire []uint16) {
+	r.w.root.on(r).allGatherBF16(buf, shard, wire, OpAllGather, true)
+}
+
+// AllReduceBF16 is the group-scoped bf16 all-reduce (see
+// Rank.AllReduceBF16). len(buf) must be a multiple of the group size.
+func (g *Group) AllReduceBF16(r *Rank, buf []float32, wire []uint16) {
+	g.on(r).allReduceBF16(buf, wire)
+}
+
+// ReduceScatterBF16 is the group-scoped bf16 reduce-scatter (see
+// Rank.ReduceScatterBF16).
+func (g *Group) ReduceScatterBF16(r *Rank, buf []float32, wire []uint16) []float32 {
+	return g.on(r).reduceScatterBF16(buf, wire, OpReduceScatter, true)
+}
+
+// AllGatherBF16 is the group-scoped bf16 all-gather (see
+// Rank.AllGatherBF16).
+func (g *Group) AllGatherBF16(r *Rank, buf, shard []float32, wire []uint16) {
+	g.on(r).allGatherBF16(buf, shard, wire, OpAllGather, true)
+}
+
+// abortable uint16 edge operations, the bf16 twins of sendView/recvView.
+func (r *Rank) sendViewU16(ch chan []uint16, v []uint16) {
+	select {
+	case ch <- v:
+	case <-r.w.abort:
+		panic(ErrAborted)
+	}
+}
+
+func (r *Rank) recvViewU16(ch chan []uint16) []uint16 {
+	select {
+	case v := <-ch:
+		return v
+	case <-r.w.abort:
+		panic(ErrAborted)
+	}
+}
+
+func (m member) sendChU16() chan []uint16 { return m.g.dataU16[m.id] }
+func (m member) recvChU16() chan []uint16 { return m.g.dataU16[(m.id-1+m.g.n)%m.g.n] }
+
+// exchangeU16 is exchange for bf16 payloads: 2 wire bytes per element,
+// same capacity-1 channel + acknowledgement discipline, so a published
+// wire chunk is never rewritten while a neighbour still reads it.
+func (m member) exchangeU16(op Op, view []uint16, process func(recv []uint16)) {
+	m.r.sentBytes[op] += int64(len(view)) * bf16WireBytes
+	m.r.sendViewU16(m.sendChU16(), view)
+	recv := m.r.recvViewU16(m.recvChU16())
+	process(recv)
+	m.r.sendSig(m.ackSend())
+	m.r.recvSig(m.ackRecv())
+}
+
+// chunkOfU16 returns the c-th of n uniform chunks of wire.
+func chunkOfU16(wire []uint16, c, n int) []uint16 {
+	cs := len(wire) / n
+	return wire[c*cs : (c+1)*cs]
+}
+
+func (m member) checkWire(buf []float32, wire []uint16, op Op) {
+	if len(wire) != len(buf) {
+		panic(fmt.Sprintf("dist: %v bf16 wire scratch length %d, want %d", op, len(wire), len(buf)))
+	}
+}
+
+func (m member) reduceScatterBF16(buf []float32, wire []uint16, op Op, account bool) []float32 {
+	m.checkDivisible(buf, op)
+	m.checkWire(buf, wire, op)
+	n := m.g.n
+	if n == 1 {
+		if account {
+			t0 := m.begin()
+			m.end(op, comm.ReduceScatter(float64(len(buf)*bf16WireBytes), 1, m.g.link), t0)
+		}
+		return buf
+	}
+	var t0 time.Time
+	if account {
+		t0 = m.begin()
+	}
+	// Same schedule as the fp32 ring: at step s member i forwards the
+	// chunk it finished accumulating last step — rounded to bf16 into
+	// its wire scratch — and widens + adds the received bf16 chunk into
+	// its fp32 buffer.
+	for s := 0; s < n-1; s++ {
+		c := mod(m.id-1-s, n)
+		sendW := chunkOfU16(wire, c, n)
+		tensor.ToBF16(sendW, chunkOf(buf, c, n))
+		m.exchangeU16(op, sendW, func(recv []uint16) {
+			// Widen through the vector kernel in stack-buffer blocks,
+			// then accumulate — this loop is every ring hop of every
+			// bf16 gradient reduction.
+			acc := chunkOf(buf, mod(m.id-2-s, n), n)
+			var wide [512]float32
+			for off := 0; off < len(recv); off += len(wide) {
+				end := off + len(wide)
+				if end > len(recv) {
+					end = len(recv)
+				}
+				w := wide[:end-off]
+				tensor.FromBF16(w, recv[off:end])
+				a := acc[off:end]
+				for j := range a {
+					a[j] += w[j]
+				}
+			}
+		})
+	}
+	if account {
+		m.end(op, comm.ReduceScatter(float64(len(buf)*bf16WireBytes), n, m.g.link), t0)
+	}
+	return chunkOf(buf, m.id, n)
+}
+
+func (m member) allGatherBF16(buf, shard []float32, wire []uint16, op Op, account bool) {
+	m.checkDivisible(buf, op)
+	m.checkWire(buf, wire, op)
+	n := m.g.n
+	own := chunkOf(buf, m.id, n)
+	if shard != nil {
+		if len(shard) != len(own) {
+			panic(fmt.Sprintf("dist: bf16 all-gather shard length %d, want %d", len(shard), len(own)))
+		}
+		copy(own, shard)
+	}
+	// Round the local contribution once; the widened image replaces the
+	// fp32 chunk so every rank — owner included — holds the same bytes.
+	ownW := chunkOfU16(wire, m.id, n)
+	tensor.ToBF16(ownW, own)
+	tensor.FromBF16(own, ownW)
+	if n == 1 {
+		if account {
+			t0 := m.begin()
+			m.end(op, comm.AllGather(float64(len(buf)*bf16WireBytes), 1, m.g.link), t0)
+		}
+		return
+	}
+	var t0 time.Time
+	if account {
+		t0 = m.begin()
+	}
+	// Bf16 chunks ride the ring verbatim (no re-rounding at hops): the
+	// received chunk lands in the wire scratch so it can be forwarded
+	// next step, and its widened image lands in the fp32 buffer.
+	for s := 0; s < n-1; s++ {
+		send := chunkOfU16(wire, mod(m.id-s, n), n)
+		m.exchangeU16(op, send, func(recv []uint16) {
+			c := mod(m.id-1-s, n)
+			dstW := chunkOfU16(wire, c, n)
+			copy(dstW, recv)
+			tensor.FromBF16(chunkOf(buf, c, n), dstW)
+		})
+	}
+	if account {
+		m.end(op, comm.AllGather(float64(len(buf)*bf16WireBytes), n, m.g.link), t0)
+	}
+}
+
+func (m member) allReduceBF16(buf []float32, wire []uint16) {
+	t0 := m.begin()
+	m.reduceScatterBF16(buf, wire, OpAllReduce, false)
+	m.allGatherBF16(buf, nil, wire, OpAllReduce, false)
+	m.end(OpAllReduce, comm.AllReduce(float64(len(buf)*bf16WireBytes), m.g.n, m.g.link), t0)
+}

@@ -29,9 +29,12 @@ type Group struct {
 	index   map[int]int // world rank id → group-local rank
 
 	// data[i] carries views from member i to member (i+1)%n; ack[i]
-	// carries the matching consumption acknowledgements back.
-	data []chan []float32
-	ack  []chan struct{}
+	// carries the matching consumption acknowledgements back. dataU16
+	// is the same edge in the bf16 wire mode (uint16 payloads); the ack
+	// channels are shared because a group runs one collective at a time.
+	data    []chan []float32
+	dataU16 []chan []uint16
+	ack     []chan struct{}
 
 	bar     barrier
 	scalars []float64
@@ -45,6 +48,7 @@ func newGroup(w *World, members []int, link comm.Params) *Group {
 		members: append([]int(nil), members...),
 		index:   make(map[int]int, len(members)),
 		data:    make([]chan []float32, len(members)),
+		dataU16: make([]chan []uint16, len(members)),
 		ack:     make([]chan struct{}, len(members)),
 		scalars: make([]float64, len(members)),
 	}
@@ -54,6 +58,7 @@ func newGroup(w *World, members []int, link comm.Params) *Group {
 	g.bar.init(g.n)
 	for i := range g.data {
 		g.data[i] = make(chan []float32, 1)
+		g.dataU16[i] = make(chan []uint16, 1)
 		g.ack[i] = make(chan struct{}, 1)
 	}
 	return g

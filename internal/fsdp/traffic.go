@@ -28,9 +28,14 @@ func (t Traffic) Total() float64 {
 }
 
 // TrafficPerStep returns the per-rank bytes one training step puts on
-// the wire for a model of paramElems float32 parameters under plan p on
-// a world of the given size, using the ring-algorithm volumes of
-// internal/comm:
+// the wire for a model of paramElems parameters under plan p on a world
+// of the given size, with each element travelling as elemBytes wire
+// bytes — 4 for fp32, 2 for the bf16 mixed-precision mode, whose
+// gradient reductions and parameter gathers all move bf16 payloads (the
+// fp32 master weights and Adam state never cross the wire; the only
+// fp32 traffic the executed loop sends is the one-time init broadcast,
+// which is not per-step and not accounted here). elemBytes ≤ 0 defaults
+// to 4. The formulas use the ring-algorithm volumes of internal/comm:
 //
 //	reduce-scatter / all-gather:  (n−1)/n · V
 //	all-reduce:                   2(n−1)/n · V
@@ -57,30 +62,33 @@ func (t Traffic) Total() float64 {
 //	   executed two-level scheme needs so one flat buffer chunks
 //	   uniformly on the group ring AND each shard chunks uniformly on
 //	   the replica ring (opt.NewPartition's quantum).
-func TrafficPerStep(p Plan, world, paramElems int) Traffic {
+func TrafficPerStep(p Plan, world, paramElems, elemBytes int) Traffic {
 	var t Traffic
 	if world <= 1 || paramElems <= 0 {
 		return t
 	}
-	const elemBytes = 4
+	if elemBytes <= 0 {
+		elemBytes = 4
+	}
+	eb := float64(elemBytes)
 	ringFrac := func(n int) float64 { return float64(n-1) / float64(n) }
 	pad := func(n, group int) float64 { return float64((n + group - 1) / group * group) }
 
 	switch p.Strategy {
 	case DDP, NoShard:
-		t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * elemBytes
+		t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * eb
 	case ShardGradOp:
-		v := pad(paramElems, world) * elemBytes
+		v := pad(paramElems, world) * eb
 		t.ReduceScatterBytes = ringFrac(world) * v
 		t.AllGatherBytes = ringFrac(world) * v
 	case FullShard:
-		v := pad(paramElems, world) * elemBytes
+		v := pad(paramElems, world) * eb
 		t.ReduceScatterBytes = ringFrac(world) * v
 		t.AllGatherBytes = 2 * ringFrac(world) * v
 	case HybridShard:
 		g := p.GroupSize
 		if g <= 1 {
-			t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * elemBytes
+			t.AllReduceBytes = 2 * ringFrac(world) * pad(paramElems, world) * eb
 			break
 		}
 		repl := world / g
@@ -90,7 +98,7 @@ func TrafficPerStep(p Plan, world, paramElems int) Traffic {
 			// group rather than dividing by zero.
 			repl = 1
 		}
-		v := pad(paramElems, g*repl) * elemBytes
+		v := pad(paramElems, g*repl) * eb
 		t.ReduceScatterBytes = ringFrac(g) * v
 		t.AllGatherBytes = 2 * ringFrac(g) * v
 		if repl > 1 {

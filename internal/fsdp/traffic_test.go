@@ -13,7 +13,7 @@ func TestTrafficMatchesCommModel(t *testing.T) {
 	const elems = 1 << 20 // divisible by every world below: no padding
 	bytes := float64(elems * 4)
 	for _, world := range []int{2, 4, 8} {
-		ddp := TrafficPerStep(DefaultDDP(), world, elems)
+		ddp := TrafficPerStep(DefaultDDP(), world, elems, 4)
 		if want := comm.AllReduce(bytes, world, p).WireBytes; ddp.AllReduceBytes != want {
 			t.Errorf("DDP world=%d: %v, comm model %v", world, ddp.AllReduceBytes, want)
 		}
@@ -21,7 +21,7 @@ func TestTrafficMatchesCommModel(t *testing.T) {
 			t.Errorf("DDP world=%d: unexpected sharded traffic %+v", world, ddp)
 		}
 
-		zero1 := TrafficPerStep(BestPractice(ShardGradOp, 0), world, elems)
+		zero1 := TrafficPerStep(BestPractice(ShardGradOp, 0), world, elems, 4)
 		if want := comm.ReduceScatter(bytes, world, p).WireBytes; zero1.ReduceScatterBytes != want {
 			t.Errorf("ZeRO-1 world=%d RS: %v, comm model %v", world, zero1.ReduceScatterBytes, want)
 		}
@@ -29,7 +29,7 @@ func TestTrafficMatchesCommModel(t *testing.T) {
 			t.Errorf("ZeRO-1 world=%d AG: %v, comm model %v", world, zero1.AllGatherBytes, want)
 		}
 
-		full := TrafficPerStep(BestPractice(FullShard, 0), world, elems)
+		full := TrafficPerStep(BestPractice(FullShard, 0), world, elems, 4)
 		if full.AllGatherBytes != 2*zero1.AllGatherBytes {
 			t.Errorf("FULL_SHARD world=%d: AG %v, want twice SHARD_GRAD_OP's %v",
 				world, full.AllGatherBytes, zero1.AllGatherBytes)
@@ -41,7 +41,7 @@ func TestTrafficMatchesCommModel(t *testing.T) {
 // collective group, matching internal/dist's uniform-chunk requirement.
 func TestTrafficPadding(t *testing.T) {
 	const world = 4
-	tr := TrafficPerStep(DefaultDDP(), world, 10)
+	tr := TrafficPerStep(DefaultDDP(), world, 10, 4)
 	want := 2.0 * 3 / 4 * 12 * 4 // pad 10 → 12 elems
 	if tr.AllReduceBytes != want {
 		t.Fatalf("padded DDP traffic %v, want %v", tr.AllReduceBytes, want)
@@ -52,7 +52,7 @@ func TestTrafficPadding(t *testing.T) {
 func TestTrafficHybrid(t *testing.T) {
 	plan := BestPractice(HybridShard, 4)
 	const world, elems = 8, 1 << 10
-	tr := TrafficPerStep(plan, world, elems)
+	tr := TrafficPerStep(plan, world, elems, 4)
 	bytes := float64(elems * 4)
 	if want := 3.0 / 4 * bytes; tr.ReduceScatterBytes != want {
 		t.Errorf("hybrid RS %v want %v", tr.ReduceScatterBytes, want)
@@ -64,8 +64,8 @@ func TestTrafficHybrid(t *testing.T) {
 		t.Errorf("hybrid replica AR %v want %v", tr.AllReduceBytes, want)
 	}
 	// HYBRID_1GPU degenerates to the DDP volume.
-	h1 := TrafficPerStep(BestPractice(HybridShard, 1), world, elems)
-	ddp := TrafficPerStep(DefaultDDP(), world, elems)
+	h1 := TrafficPerStep(BestPractice(HybridShard, 1), world, elems, 4)
+	ddp := TrafficPerStep(DefaultDDP(), world, elems, 4)
 	if h1 != ddp {
 		t.Errorf("HYBRID_1GPU %+v != DDP %+v", h1, ddp)
 	}
@@ -76,14 +76,39 @@ func TestTrafficHybrid(t *testing.T) {
 // TrafficPerStep is a pure function callers may probe) stays finite
 // instead of dividing by zero.
 func TestTrafficDegenerate(t *testing.T) {
-	if tr := TrafficPerStep(DefaultDDP(), 1, 100); tr.Total() != 0 {
+	if tr := TrafficPerStep(DefaultDDP(), 1, 100, 4); tr.Total() != 0 {
 		t.Fatalf("world=1 traffic %v", tr.Total())
 	}
-	if tr := TrafficPerStep(DefaultDDP(), 8, 0); tr.Total() != 0 {
+	if tr := TrafficPerStep(DefaultDDP(), 8, 0, 4); tr.Total() != 0 {
 		t.Fatalf("zero params traffic %v", tr.Total())
 	}
-	over := TrafficPerStep(BestPractice(HybridShard, 8), 4, 1<<10)
+	over := TrafficPerStep(BestPractice(HybridShard, 8), 4, 1<<10, 4)
 	if over.AllReduceBytes != 0 || over.ReduceScatterBytes <= 0 {
 		t.Fatalf("oversized hybrid group traffic %+v", over)
+	}
+}
+
+// TestTrafficBF16HalvesVolume: the dtype-width parameter scales every
+// per-step collective volume linearly — bf16 (2 bytes) moves exactly
+// half of fp32's bytes for every strategy, and a non-positive width
+// defaults to fp32.
+func TestTrafficBF16HalvesVolume(t *testing.T) {
+	const world, elems = 8, 12345
+	for _, plan := range []Plan{
+		DefaultDDP(),
+		BestPractice(ShardGradOp, 0),
+		BestPractice(FullShard, 0),
+		BestPractice(HybridShard, 2),
+	} {
+		fp := TrafficPerStep(plan, world, elems, 4)
+		bf := TrafficPerStep(plan, world, elems, 2)
+		if 2*bf.AllReduceBytes != fp.AllReduceBytes ||
+			2*bf.ReduceScatterBytes != fp.ReduceScatterBytes ||
+			2*bf.AllGatherBytes != fp.AllGatherBytes {
+			t.Errorf("%s: bf16 %+v is not half of fp32 %+v", plan.Name(), bf, fp)
+		}
+		if def := TrafficPerStep(plan, world, elems, 0); def != fp {
+			t.Errorf("%s: zero width %+v does not default to fp32 %+v", plan.Name(), def, fp)
+		}
 	}
 }

@@ -244,6 +244,17 @@ func (m *Model) DrawMasksRange(batch, lo, hi int) [][]int {
 	return out
 }
 
+// SkipMasks advances the mask stream past batches whole batches of the
+// given batch size without materializing anything — exactly what
+// `batches` training steps would have consumed. A resumed run calls
+// this so its mask sequence continues where the interrupted run's
+// checkpoint left off.
+func (m *Model) SkipMasks(batches, batch int) {
+	for i := 0; i < batches; i++ {
+		m.DrawMasksRange(batch, 0, 0)
+	}
+}
+
 // SetMask overrides the random mask with explicit per-image visible
 // indices; used by tests for reproducible gradient checks.
 func (m *Model) SetMask(keep [][]int) {

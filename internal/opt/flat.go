@@ -214,6 +214,22 @@ func (a *ShardedAdamW) StepCount() int { return a.t }
 // SetStep overrides the step counter (resuming from a checkpoint).
 func (a *ShardedAdamW) SetStep(t int) { a.t = t }
 
+// CopyMoments writes the shard's Adam moments into dstM and dstV, for
+// checkpointing. Destinations shorter than Hi−Lo receive a prefix —
+// how callers strip the zero-valued pad tail of the final shard.
+func (a *ShardedAdamW) CopyMoments(dstM, dstV []float32) {
+	copy(dstM, a.m)
+	copy(dstV, a.v)
+}
+
+// RestoreMoments loads the shard's Adam moments from srcM and srcV,
+// resuming from a checkpoint. Sources shorter than Hi−Lo fill a prefix
+// and leave the rest untouched (the pad tail stays zero).
+func (a *ShardedAdamW) RestoreMoments(srcM, srcV []float32) {
+	copy(a.m, srcM)
+	copy(a.v, srcV)
+}
+
 // Step applies one AdamW update to the shard: w and g are the [Lo, Hi)
 // slices of the flat weight and (already averaged) flat gradient.
 func (a *ShardedAdamW) Step(lr float64, w, g []float32) {

@@ -86,6 +86,35 @@ func (a *AdamW) Params() []*nn.Param { return a.params }
 // StepCount returns how many updates have been applied.
 func (a *AdamW) StepCount() int { return a.t }
 
+// SetStep overrides the bias-correction step counter (resuming from a
+// checkpoint).
+func (a *AdamW) SetStep(t int) { a.t = t }
+
+// ExportMoments packs the Adam first and second moments into flat
+// buffers in parameter order (the same layout as PackGrads), for
+// checkpointing. len(m) and len(v) must be at least FlatDim(params).
+func (a *AdamW) ExportMoments(m, v []float32) {
+	off := 0
+	for pi, p := range a.params {
+		n := p.NumEl()
+		copy(m[off:off+n], a.m[pi])
+		copy(v[off:off+n], a.v[pi])
+		off += n
+	}
+}
+
+// ImportMoments restores the Adam moments from flat buffers written by
+// ExportMoments.
+func (a *AdamW) ImportMoments(m, v []float32) {
+	off := 0
+	for pi, p := range a.params {
+		n := p.NumEl()
+		copy(a.m[pi], m[off:off+n])
+		copy(a.v[pi], v[off:off+n])
+		off += n
+	}
+}
+
 // Step applies one AdamW update.
 func (a *AdamW) Step(lr float64) {
 	a.t++

@@ -1,0 +1,89 @@
+package tensor
+
+import "math"
+
+// bfloat16 conversion kernels for the mixed-precision execution path:
+// the paper trains with AMP-style bf16 on MI250X (bf16 math and
+// communication, fp32 master weights), and internal/dist's bf16 wire
+// mode moves gradient/parameter payloads as []uint16 produced here.
+//
+// A bf16 value is the high 16 bits of the IEEE-754 float32 encoding:
+// same sign and 8-bit exponent, mantissa truncated from 23 to 7 bits.
+// ToBF16 rounds to nearest-even (the hardware rounding mode on MI250X
+// and every other bf16 unit); FromBF16 widens exactly by reattaching 16
+// zero mantissa bits. On amd64 with AVX2 the vector bodies run in
+// assembly (bf16_amd64.s), mirroring the CPUID-gated GEMM micro-kernel
+// pattern; elsewhere (or with -tags purego) the portable scalar loops
+// below run.
+
+// BF16FromF32 converts one float32 to bf16 with round-nearest-even.
+// NaNs are quieted (payload truncated, quiet bit forced) so a NaN can
+// never round into an infinity; ±Inf, ±0 and subnormals pass through
+// the rounding identity unchanged.
+func BF16FromF32(x float32) uint16 {
+	b := math.Float32bits(x)
+	if b&0x7fffffff > 0x7f800000 { // NaN: keep sign/exponent, force quiet bit
+		return uint16(b>>16) | 0x0040
+	}
+	// Round-nearest-even on the truncated 16 bits: add 0x7fff plus the
+	// parity of the result's lsb, so exact ties round to even.
+	return uint16((b + 0x7fff + (b>>16)&1) >> 16)
+}
+
+// F32FromBF16 widens one bf16 value to float32 (exact).
+func F32FromBF16(x uint16) float32 {
+	return math.Float32frombits(uint32(x) << 16)
+}
+
+// ToBF16 converts src to bf16 with round-nearest-even into dst.
+// len(dst) must equal len(src).
+func ToBF16(dst []uint16, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: ToBF16 length mismatch")
+	}
+	toBF16(dst, src)
+}
+
+// FromBF16 widens bf16 values back to float32 into dst (exact).
+// len(dst) must equal len(src).
+func FromBF16(dst []float32, src []uint16) {
+	if len(dst) != len(src) {
+		panic("tensor: FromBF16 length mismatch")
+	}
+	fromBF16(dst, src)
+}
+
+// RoundBF16 rounds src elementwise to the nearest bf16-representable
+// value, storing the widened result in dst (dst may alias src) — the
+// "bf16 working copy" a mixed-precision optimizer derives from its fp32
+// master weights. Rounding an already bf16-valued float32 is exact, so
+// RoundBF16 is idempotent. The conversion runs through the dispatched
+// vector kernels in stack-buffer blocks: this sits on the per-step
+// optimizer path.
+func RoundBF16(dst, src []float32) {
+	checkLen2(dst, src)
+	var block [512]uint16
+	for off := 0; off < len(src); off += len(block) {
+		end := off + len(block)
+		if end > len(src) {
+			end = len(src)
+		}
+		w := block[:end-off]
+		toBF16(w, src[off:end])
+		fromBF16(dst[off:end], w)
+	}
+}
+
+// toBF16Go and fromBF16Go are the portable scalar loops — the reference
+// the amd64 assembly is held to bit-for-bit by the property tests.
+func toBF16Go(dst []uint16, src []float32) {
+	for i, v := range src {
+		dst[i] = BF16FromF32(v)
+	}
+}
+
+func fromBF16Go(dst []float32, src []uint16) {
+	for i, v := range src {
+		dst[i] = F32FromBF16(v)
+	}
+}

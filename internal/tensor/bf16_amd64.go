@@ -1,0 +1,38 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// toBF16AVX2 / fromBF16AVX2 (bf16_amd64.s) convert n floats in blocks
+// of 8 lanes; n must be a multiple of 8. Rounding matches BF16FromF32
+// bit for bit, including the NaN-quieting blend.
+//
+//go:noescape
+func toBF16AVX2(dst *uint16, src *float32, n int)
+
+//go:noescape
+func fromBF16AVX2(dst *float32, src *uint16, n int)
+
+// The conversions need AVX2 only, but the existing haveFMA gate
+// (AVX2+FMA with OS YMM support) is reused so every SIMD kernel in the
+// package switches on and off together.
+func toBF16(dst []uint16, src []float32) {
+	n := len(src)
+	if haveFMA && n >= 8 {
+		n8 := n &^ 7
+		toBF16AVX2(&dst[0], &src[0], n8)
+		toBF16Go(dst[n8:], src[n8:])
+		return
+	}
+	toBF16Go(dst, src)
+}
+
+func fromBF16(dst []float32, src []uint16) {
+	n := len(src)
+	if haveFMA && n >= 8 {
+		n8 := n &^ 7
+		fromBF16AVX2(&dst[0], &src[0], n8)
+		fromBF16Go(dst[n8:], src[n8:])
+		return
+	}
+	fromBF16Go(dst, src)
+}

@@ -1,0 +1,77 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func toBF16AVX2(dst *uint16, src *float32, n int)
+//
+// Eight float32 → eight bf16 per iteration. Round-nearest-even is the
+// classic integer trick on the raw bits: u + 0x7fff + ((u>>16)&1),
+// truncated to the high half. NaN lanes cannot go through that add (a
+// mantissa carry could turn them into ±Inf or even ±0), so an unordered
+// self-compare masks them out and the blended NaN path truncates and
+// forces the quiet bit instead — bit-identical to BF16FromF32. n must
+// be a multiple of 8.
+TEXT ·toBF16AVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	MOVL $0x7fff, AX
+	MOVQ AX, X6
+	VPBROADCASTD X6, Y6 // rounding bias
+	MOVL $1, AX
+	MOVQ AX, X7
+	VPBROADCASTD X7, Y7 // lsb mask for the tie-to-even parity bit
+	MOVL $0x40, AX
+	MOVQ AX, X5
+	VPBROADCASTD X5, Y5 // bf16 quiet-NaN bit
+
+toloop:
+	TESTQ CX, CX
+	JLE   todone
+	VMOVUPS (SI), Y0        // u: raw float32 bits
+	VPSRLD  $16, Y0, Y1
+	VPAND   Y7, Y1, Y1      // (u>>16) & 1
+	VPADDD  Y6, Y1, Y1      // + 0x7fff
+	VPADDD  Y0, Y1, Y1      // u + bias
+	VPSRLD  $16, Y1, Y1     // rounded bf16 in dword lanes
+	VCMPPS  $3, Y0, Y0, Y2  // UNORD_Q(x,x): all-ones where NaN
+	VPSRLD  $16, Y0, Y3
+	VPOR    Y5, Y3, Y3      // NaN path: truncate, force quiet bit
+	VPBLENDVB Y2, Y3, Y1, Y1
+	VEXTRACTI128 $1, Y1, X2
+	VPACKUSDW X2, X1, X1    // 8 dwords (≤ 0xffff) → 8 words, in order
+	VMOVUPS X1, (DI)
+	ADDQ $32, SI
+	ADDQ $16, DI
+	SUBQ $8, CX
+	JMP  toloop
+
+todone:
+	VZEROUPPER
+	RET
+
+// func fromBF16AVX2(dst *float32, src *uint16, n int)
+//
+// Eight bf16 → eight float32 per iteration: zero-extend the words into
+// dword lanes and shift the payload into the high half (exact widening,
+// no rounding). n must be a multiple of 8.
+TEXT ·fromBF16AVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+fromloop:
+	TESTQ CX, CX
+	JLE   fromdone
+	VPMOVZXWD (SI), Y0
+	VPSLLD    $16, Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ $16, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JMP  fromloop
+
+fromdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,6 @@
+//go:build !amd64 || purego
+
+package tensor
+
+func toBF16(dst []uint16, src []float32)   { toBF16Go(dst, src) }
+func fromBF16(dst []float32, src []uint16) { fromBF16Go(dst, src) }

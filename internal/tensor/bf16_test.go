@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// bf16Ref rounds via float64 arithmetic, independently of the bit
+// trick: find the two neighbouring bf16-representable values and pick
+// the nearer one, ties to even mantissa. The production kernels are
+// held to this reference.
+func bf16Ref(x float32) uint16 {
+	b := math.Float32bits(x)
+	if x != x { // NaN
+		return uint16(b>>16) | 0x0040
+	}
+	lo := uint16(b >> 16) // truncation toward zero in magnitude
+	frac := b & 0xffff
+	if frac == 0 {
+		return lo
+	}
+	if math.IsInf(float64(x), 0) {
+		return lo
+	}
+	switch {
+	case frac > 0x8000:
+		return lo + 1 // rounds away from zero in the biased encoding
+	case frac < 0x8000:
+		return lo
+	default: // exact tie: to even
+		if lo&1 == 1 {
+			return lo + 1
+		}
+		return lo
+	}
+}
+
+// bf16Patterns enumerates every 16-bit high half crossed with the low
+// halves that matter for rounding: zero, just-below/at/just-above the
+// tie point, and all-ones. That covers every exponent (normals,
+// subnormals, ±0, ±Inf, every NaN class) at every rounding decision.
+func bf16Patterns(visit func(bits uint32)) {
+	lows := []uint32{0x0000, 0x0001, 0x7fff, 0x8000, 0x8001, 0xffff}
+	for hi := 0; hi <= 0xffff; hi++ {
+		for _, lo := range lows {
+			visit(uint32(hi)<<16 | lo)
+		}
+	}
+}
+
+// TestBF16FromF32MatchesReference sweeps the exhaustive boundary
+// pattern set: the scalar kernel must match the arithmetic reference
+// everywhere, and every NaN must stay a NaN (never collapse to ±Inf or
+// ±0 — the failure mode of the unguarded rounding add).
+func TestBF16FromF32MatchesReference(t *testing.T) {
+	bf16Patterns(func(bits uint32) {
+		x := math.Float32frombits(bits)
+		got := BF16FromF32(x)
+		want := bf16Ref(x)
+		if x != x {
+			if got&0x7fff <= 0x7f80 {
+				t.Fatalf("NaN 0x%08x converted to non-NaN bf16 0x%04x", bits, got)
+			}
+			return // any quiet NaN encoding is a valid NaN; ours is pinned below
+		}
+		if got != want {
+			t.Fatalf("BF16FromF32(0x%08x) = 0x%04x, reference 0x%04x", bits, got, want)
+		}
+	})
+	// Pin the exact NaN policy: truncate payload, force the quiet bit.
+	if got := BF16FromF32(math.Float32frombits(0x7fc00001)); got != 0x7fc0 {
+		t.Fatalf("quiet NaN: got 0x%04x", got)
+	}
+	if got := BF16FromF32(math.Float32frombits(0xff800001)); got != 0xffc0 {
+		t.Fatalf("signaling -NaN: got 0x%04x, want quieted 0xffc0", got)
+	}
+}
+
+// TestBF16SpecialValues pins the values the wire format must preserve
+// exactly: ±0, ±Inf, powers of two, and bf16 subnormals.
+func TestBF16SpecialValues(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3f80},
+		{-2, 0xc000},
+		{float32(math.Inf(1)), 0x7f80},
+		{float32(math.Inf(-1)), 0xff80},
+		{math.Float32frombits(0x00010000), 0x0001}, // smallest bf16 subnormal
+		{math.Float32frombits(0x00008000), 0x0000}, // tie at half of it → even (zero)
+		{math.Float32frombits(0x00018000), 0x0002}, // tie above odd → up to even
+		{math.MaxFloat32, 0x7f80},                  // nearest bf16 is +Inf
+	}
+	for _, c := range cases {
+		if got := BF16FromF32(c.in); got != c.want {
+			t.Errorf("BF16FromF32(%v = 0x%08x) = 0x%04x, want 0x%04x",
+				c.in, math.Float32bits(c.in), got, c.want)
+		}
+	}
+}
+
+// TestBF16RoundTripExact: widening then re-rounding any bf16 value is
+// the identity — every one of the 65536 encodings survives, including
+// subnormals, infinities and NaNs (quiet bit already set after one
+// trip).
+func TestBF16RoundTripExact(t *testing.T) {
+	for v := 0; v <= 0xffff; v++ {
+		w := F32FromBF16(uint16(v))
+		back := BF16FromF32(w)
+		if w != w { // NaN encodings re-round to their quieted form
+			if back != uint16(v)|0x0040 {
+				t.Fatalf("NaN 0x%04x round-trips to 0x%04x", v, back)
+			}
+			continue
+		}
+		if back != uint16(v) {
+			t.Fatalf("bf16 0x%04x widens to %v, re-rounds to 0x%04x", v, w, back)
+		}
+	}
+}
+
+// TestBF16VectorMatchesScalar holds the dispatched vector kernels (the
+// AVX2 assembly when the CPU has it, the portable loop otherwise) to
+// the scalar reference bit for bit — over the exhaustive pattern sweep
+// plus ragged lengths straddling the 8-lane blocking.
+func TestBF16VectorMatchesScalar(t *testing.T) {
+	var vals []float32
+	bf16Patterns(func(bits uint32) { vals = append(vals, math.Float32frombits(bits)) })
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 33, len(vals)} {
+		src := vals[:n]
+		got := make([]uint16, n)
+		want := make([]uint16, n)
+		ToBF16(got, src)
+		toBF16Go(want, src)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ToBF16[%d] (0x%08x) = 0x%04x, scalar 0x%04x",
+					n, i, math.Float32bits(src[i]), got[i], want[i])
+			}
+		}
+		back := make([]float32, n)
+		backGo := make([]float32, n)
+		FromBF16(back, got)
+		fromBF16Go(backGo, got)
+		for i := range back {
+			if math.Float32bits(back[i]) != math.Float32bits(backGo[i]) {
+				t.Fatalf("n=%d: FromBF16[%d] = %v bits, scalar %v bits",
+					n, i, math.Float32bits(back[i]), math.Float32bits(backGo[i]))
+			}
+		}
+	}
+}
+
+// TestBF16ErrorBound: for finite normal inputs the RNE error is at most
+// half a bf16 ULP (2⁻⁸ relative).
+func TestBF16ErrorBound(t *testing.T) {
+	r := rng.New(17)
+	for i := 0; i < 20000; i++ {
+		x := (r.Float32()*2 - 1) * float32(math.Exp(float64(r.Float32()*40-20)))
+		y := F32FromBF16(BF16FromF32(x))
+		if x == 0 {
+			continue
+		}
+		rel := math.Abs(float64(y-x)) / math.Abs(float64(x))
+		if rel > 1.0/256 {
+			t.Fatalf("x=%v rounds to %v, relative error %v > 2^-8", x, y, rel)
+		}
+	}
+}
+
+// TestRoundBF16Idempotent: RoundBF16 is a projection — applying it
+// twice equals applying it once, and it works in place.
+func TestRoundBF16Idempotent(t *testing.T) {
+	r := rng.New(23)
+	src := make([]float32, 1300) // crosses the 512-element block boundary
+	for i := range src {
+		src[i] = r.NormFloat32() * 3
+	}
+	once := make([]float32, len(src))
+	RoundBF16(once, src)
+	twice := append([]float32(nil), once...)
+	RoundBF16(twice, twice) // aliased
+	for i := range once {
+		if math.Float32bits(once[i]) != math.Float32bits(twice[i]) {
+			t.Fatalf("RoundBF16 not idempotent at %d: %v vs %v", i, once[i], twice[i])
+		}
+	}
+}
+
+func BenchmarkToBF16(b *testing.B) {
+	src := make([]float32, 1<<16)
+	r := rng.New(1)
+	for i := range src {
+		src[i] = r.NormFloat32()
+	}
+	dst := make([]uint16, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ToBF16(dst, src)
+	}
+}
+
+func BenchmarkFromBF16(b *testing.B) {
+	src := make([]uint16, 1<<16)
+	for i := range src {
+		src[i] = uint16(i)
+	}
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromBF16(dst, src)
+	}
+}

@@ -60,14 +60,78 @@ func LoadParams(r io.Reader, params []*nn.Param) (step int, err error) {
 	return ck.Step, nil
 }
 
-// SaveParamsFile writes a snapshot to path (atomically via a temp file).
-func SaveParamsFile(path string, params []*nn.Param, step int) error {
+// TrainState is the complete mid-run training state of a distributed
+// pretraining run at an epoch boundary — everything a resumed
+// PretrainDistributed needs to continue bitwise-identically to an
+// uninterrupted run. All tensors are stored in the flat packed
+// parameter order (opt.PackValues), unpadded: shard padding is always
+// zero-valued and is reconstructed from the plan at restore time, which
+// makes the state independent of the partition layout it was captured
+// under.
+type TrainState struct {
+	Format string
+	// Step is the absolute number of completed optimizer steps; Epoch
+	// the number of completed epochs (Step == Epoch·stepsPerEpoch — the
+	// state is captured at epoch boundaries).
+	Step  int
+	Epoch int
+	// Precision is the numeric mode the state was captured under. A
+	// resume validates it against the configuration: an FP32 state
+	// carries no loss-scale schedule, so resuming it under BF16 (or
+	// vice versa) would silently train a different trajectory.
+	Precision Precision
+	// Master holds the fp32 master weights (for FP32 runs, simply the
+	// parameters). OptM/OptV are the Adam moments; OptStep the shared
+	// bias-correction counter.
+	Master     []float32
+	OptM, OptV []float32
+	OptStep    int
+	// LossScale and ScaleGoodSteps freeze the dynamic loss scaler of a
+	// BF16 run (ignored for FP32).
+	LossScale      float64
+	ScaleGoodSteps int
+}
+
+const trainStateFormat = "geofm-trainstate-v1"
+
+// SaveTrainState writes a resumable training state to w.
+func SaveTrainState(w io.Writer, st *TrainState) error {
+	cp := *st
+	cp.Format = trainStateFormat
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadTrainState reads a training state written by SaveTrainState.
+func LoadTrainState(r io.Reader) (*TrainState, error) {
+	var st TrainState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("train: decoding train state: %w", err)
+	}
+	if st.Format != trainStateFormat {
+		return nil, fmt.Errorf("train: unknown train-state format %q", st.Format)
+	}
+	if len(st.OptM) != len(st.Master) || len(st.OptV) != len(st.Master) {
+		return nil, fmt.Errorf("train: train state moments (%d/%d values) do not match master (%d)",
+			len(st.OptM), len(st.OptV), len(st.Master))
+	}
+	return &st, nil
+}
+
+// SaveTrainStateFile writes a training state to path (atomically via a
+// temp file).
+func SaveTrainStateFile(path string, st *TrainState) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return SaveTrainState(w, st) })
+}
+
+// saveFileAtomic writes via a temp file renamed into place, so a crash
+// mid-write never leaves a truncated checkpoint at path.
+func saveFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := SaveParams(f, params, step); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -77,6 +141,21 @@ func SaveParamsFile(path string, params []*nn.Param, step int) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// LoadTrainStateFile reads a training state from path.
+func LoadTrainStateFile(path string) (*TrainState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTrainState(f)
+}
+
+// SaveParamsFile writes a snapshot to path (atomically via a temp file).
+func SaveParamsFile(path string, params []*nn.Param, step int) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return SaveParams(w, params, step) })
 }
 
 // LoadParamsFile restores a snapshot from path.

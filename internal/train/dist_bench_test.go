@@ -8,38 +8,43 @@ import (
 )
 
 // BenchmarkDistStep measures whole training steps per second versus
-// world size at a fixed global batch (strong scaling of the in-process
-// execution layer). Recorded into BENCH_dist.json by `make bench-dist`
-// for the cross-PR perf trajectory.
+// world size and precision at a fixed global batch (strong scaling of
+// the in-process execution layer, fp32 against the bf16 wire mode).
+// Recorded into BENCH_dist.json by `make bench-dist` for the cross-PR
+// perf trajectory.
 func BenchmarkDistStep(b *testing.B) {
-	for _, ranks := range []int{1, 2, 4} {
-		for _, plan := range []fsdp.Plan{
-			fsdp.DefaultDDP(),
-			fsdp.BestPractice(fsdp.ShardGradOp, 0),
-			fsdp.BestPractice(fsdp.FullShard, 0),
-			fsdp.BestPractice(fsdp.HybridShard, 2),
-		} {
-			if plan.Strategy == fsdp.HybridShard && ranks%plan.GroupSize != 0 {
-				continue // the hybrid tiling needs the group to divide the world
+	for _, prec := range []Precision{FP32, BF16} {
+		for _, ranks := range []int{1, 2, 4} {
+			for _, plan := range []fsdp.Plan{
+				fsdp.DefaultDDP(),
+				fsdp.BestPractice(fsdp.ShardGradOp, 0),
+				fsdp.BestPractice(fsdp.FullShard, 0),
+				fsdp.BestPractice(fsdp.HybridShard, 2),
+			} {
+				if plan.Strategy == fsdp.HybridShard && ranks%plan.GroupSize != 0 {
+					continue // the hybrid tiling needs the group to divide the world
+				}
+				b.Run(fmt.Sprintf("%s/ranks=%d/prec=%s", plan.Name(), ranks, prec), func(b *testing.B) {
+					cfg := tinyDistConfig(ranks, plan)
+					cfg.Precision = prec
+					cfg.BatchSize = 16
+					cfg.Epochs = 1
+					cfg.MaxStepsPerEpoch = b.N
+					ds := tinyDataset(16 * (b.N + 1))
+					b.ResetTimer()
+					res, err := PretrainDistributed(cfg, ds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if res.Steps != b.N {
+						b.Fatalf("ran %d steps for b.N=%d", res.Steps, b.N)
+					}
+					b.ReportMetric(float64(res.Steps)/b.Elapsed().Seconds(), "steps/s")
+					b.ReportMetric(res.ImagesPerSec, "images/s")
+					b.ReportMetric(res.Traffic.Total(), "wireB/step")
+				})
 			}
-			b.Run(fmt.Sprintf("%s/ranks=%d", plan.Name(), ranks), func(b *testing.B) {
-				cfg := tinyDistConfig(ranks, plan)
-				cfg.BatchSize = 16
-				cfg.Epochs = 1
-				cfg.MaxStepsPerEpoch = b.N
-				ds := tinyDataset(16 * (b.N + 1))
-				b.ResetTimer()
-				res, err := PretrainDistributed(cfg, ds)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StopTimer()
-				if res.Steps != b.N {
-					b.Fatalf("ran %d steps for b.N=%d", res.Steps, b.N)
-				}
-				b.ReportMetric(float64(res.Steps)/b.Elapsed().Seconds(), "steps/s")
-				b.ReportMetric(res.ImagesPerSec, "images/s")
-			})
 		}
 	}
 }

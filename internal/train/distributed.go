@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -43,6 +44,31 @@ type DistConfig struct {
 	//
 	// The zero value defaults to fsdp.DefaultDDP().
 	Plan fsdp.Plan
+	// Precision selects the numeric mode, orthogonal to Plan: FP32 (the
+	// zero value) runs everything in float32; BF16 executes the paper's
+	// AMP-style recipe — bf16 working weights and bf16 collective
+	// payloads (half the wire bytes) over fp32 master weights and Adam
+	// state, with dynamic loss scaling.
+	Precision Precision
+	// LossScale tunes the BF16 dynamic loss scaler; zero fields take
+	// the opt package defaults (2¹⁶ initial, ×2 growth, ×0.5 backoff,
+	// growth interval 2000).
+	LossScale LossScaleConfig
+	// Resume restores the training state captured by a previous run
+	// (DistResult.State, possibly round-tripped through
+	// SaveTrainState/LoadTrainState) and continues from its epoch
+	// boundary. The configuration must match the interrupted run's —
+	// same model, schedule, world, plan and precision — and the
+	// continuation is then bitwise-identical to a run that never
+	// stopped. No init broadcast is sent on resume: every rank restores
+	// the identical state deterministically.
+	Resume *TrainState
+	// StopAfterEpoch interrupts the run once that many epochs have
+	// completed (0 = run all cfg.Epochs). The learning-rate schedule,
+	// sampler and mask streams are still laid out for the full
+	// cfg.Epochs, so the returned State resumes the remainder of the
+	// same run — the checkpoint/restart pattern.
+	StopAfterEpoch int
 	// Link is the α–β link model used to price each executed collective
 	// (dist.Stats measured vs modeled). Zero defaults to
 	// dist.DefaultLink(Ranks).
@@ -66,15 +92,28 @@ type DistResult struct {
 	PretrainResult
 	// Ranks is the world size the run executed with.
 	Ranks int
+	// Precision is the numeric mode the run executed with.
+	Precision Precision
 	// Comm is the World's per-collective accounting: calls, bytes each
 	// rank actually sent around the ring, and the α–β model's
 	// prediction for the same calls.
 	Comm dist.Stats
-	// Traffic is fsdp.TrafficPerStep for this plan/world/model — the
-	// per-step wire bytes the Section IV simulator charges. The
-	// executed byte counters in Comm match it exactly:
-	// Comm.<op>.MeasuredWireBytes == Traffic.<op>Bytes × Steps.
+	// Traffic is fsdp.TrafficPerStep for this plan/world/model at this
+	// precision's wire width — the per-step wire bytes the Section IV
+	// simulator charges. The executed byte counters in Comm match it
+	// exactly: Comm.<op>.MeasuredWireBytes == Traffic.<op>Bytes × Steps.
 	Traffic fsdp.Traffic
+	// FinalLossScale, ScaleBackoffs and SkippedSteps report the BF16
+	// dynamic loss scaler: the scale after the last step, how many
+	// times it backed off, and how many optimizer steps were skipped on
+	// overflow (all zero under FP32).
+	FinalLossScale float64
+	ScaleBackoffs  int
+	SkippedSteps   int
+	// State is the complete training state at the end of the run —
+	// feed it to DistConfig.Resume (or SaveTrainStateFile) to continue
+	// training bitwise-identically.
+	State *TrainState
 
 	// replicas holds every rank's model so tests can assert the ranks
 	// stayed bit-identical.
@@ -129,6 +168,14 @@ func compilePlan(plan fsdp.Plan, ranks int) (execMode, int, error) {
 // per cfg.Plan. The returned model is rank 0's replica (all replicas
 // are bit-identical after every step — in the hybrid strategies the
 // replica groups' all-reduce makes this hold across shard groups too).
+//
+// Under Precision: BF16 the same schedules run in the executed
+// mixed-precision mode: the model computes on bf16-valued working
+// weights, every gradient reduction and parameter gather moves bf16
+// payloads over the dist layer's uint16 wire (exactly half the fp32
+// bytes, still equal to the simulator's dtype-aware accounting), AdamW
+// updates fp32 master weights, and a dynamic loss scaler skips steps
+// whose scaled gradients overflow.
 func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, error) {
 	if err := cfg.MAE.Validate(); err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -141,6 +188,9 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	}
 	if cfg.BatchSize%cfg.Ranks != 0 {
 		return nil, fmt.Errorf("train: global batch %d not divisible by %d ranks", cfg.BatchSize, cfg.Ranks)
+	}
+	if !cfg.Precision.valid() {
+		return nil, fmt.Errorf("train: unknown precision %v", cfg.Precision)
 	}
 	plan := cfg.Plan
 	if plan == (fsdp.Plan{}) {
@@ -166,6 +216,30 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	if stepsPerEpoch == 0 {
 		return nil, fmt.Errorf("train: dataset smaller than one global batch")
 	}
+	resume := cfg.Resume
+	startEpoch := 0
+	if resume != nil {
+		if resume.Epoch < 1 || resume.Epoch >= cfg.Epochs {
+			return nil, fmt.Errorf("train: resume epoch %d outside [1, %d)", resume.Epoch, cfg.Epochs)
+		}
+		if resume.Step != resume.Epoch*stepsPerEpoch {
+			return nil, fmt.Errorf("train: resume step %d is not epoch %d × %d steps/epoch (schedule mismatch)",
+				resume.Step, resume.Epoch, stepsPerEpoch)
+		}
+		if resume.Precision != cfg.Precision {
+			return nil, fmt.Errorf("train: resume state captured under %v, configuration is %v",
+				resume.Precision, cfg.Precision)
+		}
+		startEpoch = resume.Epoch
+	}
+	lastEpoch := cfg.Epochs
+	if cfg.StopAfterEpoch > 0 && cfg.StopAfterEpoch < cfg.Epochs {
+		lastEpoch = cfg.StopAfterEpoch
+	}
+	if lastEpoch <= startEpoch {
+		return nil, fmt.Errorf("train: stop epoch %d does not advance past resume epoch %d", lastEpoch, startEpoch)
+	}
+	bf16 := cfg.Precision == BF16
 	sched := opt.CosineSchedule{
 		Base:        opt.ScaledLR(cfg.BaseLR, cfg.BatchSize),
 		MinLR:       0,
@@ -174,10 +248,15 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	}
 
 	world := dist.New(n, dist.Options{Link: cfg.Link})
-	res := &DistResult{Ranks: n}
+	res := &DistResult{Ranks: n, Precision: cfg.Precision}
 	res.LossCurve.Name = cfg.MAE.Encoder.Name + " pretrain loss"
 	res.EpochLoss.Name = cfg.MAE.Encoder.Name + " epoch loss"
 	models := make([]*mae.Model, n)
+
+	// End-of-run training state, allocated once the flat dimension is
+	// known; ranks write their disjoint master/moment shards into it.
+	st := &TrainState{}
+	var stOnce sync.Once
 
 	start := time.Now()
 	err = world.Run(func(r *dist.Rank) error {
@@ -189,6 +268,14 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		models[r.ID()] = model
 		params := model.Params()
 		dim := opt.FlatDim(params)
+		stOnce.Do(func() {
+			st.Master = make([]float32, dim)
+			st.OptM = make([]float32, dim)
+			st.OptV = make([]float32, dim)
+		})
+		if resume != nil && len(resume.Master) != dim {
+			return fmt.Errorf("train: resume state has %d master values, model has %d", len(resume.Master), dim)
+		}
 
 		// Shard layout and communicators. The replicated mode shards
 		// nothing but still pads the flat gradient for uniform ring
@@ -204,6 +291,7 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		switch mode {
 		case execReplicated:
 			part = opt.NewPartition(dim, 1, n)
+			lo, hi = 0, part.Padded // the degenerate "shard" is everything
 		default:
 			repl := n / group
 			part = opt.NewPartition(dim, group, group*repl)
@@ -226,32 +314,85 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		}
 		padded := part.Padded
 
-		initBuf := make([]float32, dim)
-		if r.ID() == 0 {
-			opt.PackValues(initBuf, params)
+		if resume == nil {
+			initBuf := make([]float32, dim)
+			if r.ID() == 0 {
+				opt.PackValues(initBuf, params)
+			}
+			r.Broadcast(initBuf, 0)
+			opt.UnpackValues(params, initBuf)
+		} else {
+			// Every rank restores the identical fp32 master snapshot
+			// and fast-forwards the deterministic mask stream past the
+			// completed steps — no broadcast needed.
+			opt.UnpackValues(params, resume.Master)
+			model.SkipMasks(resume.Step, cfg.BatchSize)
 		}
-		r.Broadcast(initBuf, 0)
-		opt.UnpackValues(params, initBuf)
 
 		flatG := make([]float32, padded)
 		var (
-			optim    *opt.AdamW
-			shardOpt *opt.ShardedAdamW
-			flatW    []float32
+			optim    *opt.AdamW        // FP32 replicated
+			shardOpt *opt.ShardedAdamW // everything else
+			flatW    []float32         // assembled working copy (sharded and BF16 modes)
+			master   []float32         // BF16: fp32 master for [lo, hi), indexed from lo
+			wire     []uint16          // BF16 wire scratch
+			scaler   *opt.LossScaler
 		)
-		if mode == execReplicated {
+		if bf16 {
+			wire = make([]uint16, padded)
+			scaler = opt.NewLossScaler(cfg.LossScale.Init, cfg.LossScale.Growth,
+				cfg.LossScale.Backoff, cfg.LossScale.Interval)
+			if resume != nil {
+				scaler.Restore(resume.LossScale, resume.ScaleGoodSteps)
+			}
+		}
+		switch {
+		case mode == execReplicated && !bf16:
 			optim = opt.NewAdamW(params, cfg.WeightDecay)
-		} else {
-			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, lo, hi)
+		case mode == execReplicated && bf16:
+			// Full-range ShardedAdamW over a flat fp32 master: the same
+			// adamwApply kernel as AdamW, but updating the master copy
+			// while params hold the bf16 working weights.
+			master = make([]float32, padded)
+			opt.PackValues(master, params)
+			flatW = make([]float32, padded)
+			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, 0, padded)
+			tensor.RoundBF16(flatW, master)
+			opt.UnpackValues(params, flatW)
+		default:
 			flatW = make([]float32, padded)
 			opt.PackValues(flatW, params)
+			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, lo, hi)
+			if bf16 {
+				// The rank's fp32 master is its own shard; the whole
+				// working copy (own shard included) is bf16-valued so
+				// every rank computes on identical weights.
+				master = make([]float32, hi-lo)
+				copy(master, flatW[lo:hi])
+				tensor.RoundBF16(flatW, flatW)
+				opt.UnpackValues(params, flatW)
+			}
+		}
+		if resume != nil && shardOpt != nil {
+			// RestoreMoments copies through min-length copy(), so the
+			// unpadded state restores directly; the pad tail of the
+			// freshly allocated moments stays zero.
+			if end := min(hi, dim); lo < end {
+				shardOpt.RestoreMoments(resume.OptM[lo:end], resume.OptV[lo:end])
+			}
+			shardOpt.SetStep(resume.OptStep)
+		} else if resume != nil {
+			optim.ImportMoments(resume.OptM, resume.OptV)
+			optim.SetStep(resume.OptStep)
 		}
 
 		// DDP buckets: fixed-size spans of the flat gradient, rounded
 		// to a multiple of the world size so ring chunks stay uniform.
+		// Bucket bytes are wire bytes, so bf16 buckets hold twice the
+		// elements for the same configured size.
 		bucketElems := padded
 		if plan.Strategy == fsdp.DDP && n > 1 {
-			bucketElems = int(plan.DDPBucketBytes) / 4 / n * n
+			bucketElems = int(plan.DDPBucketBytes) / cfg.Precision.WireBytes() / n * n
 			if bucketElems < n {
 				bucketElems = n
 			}
@@ -269,10 +410,11 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 				ShardRank:  r.ID(),
 				ShardWorld: n,
 			})
+		loader.SkipEpochs(startEpoch)
 
 		invN := float32(1) / float32(n)
-		step := 0
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		step := startEpoch * stepsPerEpoch
+		for epoch := startEpoch; epoch < lastEpoch; epoch++ {
 			var epochLoss metrics.Meter
 			for batch := range loader.EpochN(stepsPerEpoch) {
 				// All ranks draw the global batch's masks from their
@@ -293,7 +435,11 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 					// model and the loss trajectory (checked against
 					// the single-rank run) would diverge.
 					opt.ScrubOutside(flatW, lo, hi)
-					shardGroup.AllGather(r, flatW, nil)
+					if bf16 {
+						shardGroup.AllGatherBF16(r, flatW, nil, wire)
+					} else {
+						shardGroup.AllGather(r, flatW, nil)
+					}
 					opt.UnpackValues(params, flatW)
 					model.BackwardStep()
 				} else {
@@ -302,14 +448,24 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 
 				// Local gradients are means over the local batch; the
 				// 1/n scale turns the cross-rank sum into the global
-				// mean the single-rank run computes.
+				// mean the single-rank run computes. BF16 additionally
+				// multiplies in the loss scale before gradients hit the
+				// narrow wire.
 				opt.PackGrads(flatG, params)
-				if n > 1 {
-					tensor.Scale(flatG[:dim], flatG[:dim], invN)
-				}
-
 				lr := sched.LR(step)
-				if mode == execReplicated {
+				if bf16 {
+					tensor.Scale(flatG[:dim], flatG[:dim], float32(scaler.Scale)*invN)
+					stepBF16(r, bf16State{
+						scaler: scaler, clipNorm: cfg.ClipNorm, lr: lr, mode: mode,
+						bucketElems: bucketElems, flatG: flatG, flatW: flatW,
+						master: master, wire: wire, dim: dim, lo: lo, hi: hi,
+						shardGroup: shardGroup, replGroup: replGroup,
+						shardOpt: shardOpt, params: params,
+					})
+				} else if mode == execReplicated {
+					if n > 1 {
+						tensor.Scale(flatG[:dim], flatG[:dim], invN)
+					}
 					for off := 0; off < padded; off += bucketElems {
 						end := off + bucketElems
 						if end > padded {
@@ -323,6 +479,9 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 					}
 					optim.Step(lr)
 				} else {
+					if n > 1 {
+						tensor.Scale(flatG[:dim], flatG[:dim], invN)
+					}
 					gShard := shardGroup.ReduceScatter(r, flatG)
 					if replGroup != nil {
 						// HYBRID: the shard groups hold group-local
@@ -363,13 +522,48 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 			if r.ID() == 0 {
 				res.EpochLoss.Append(float64(epoch), epochLoss.Mean())
 				if cfg.Log != nil {
-					fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.4f  lr %.2e  [%d ranks, %s]\n",
-						epoch+1, cfg.Epochs, epochLoss.Mean(), sched.LR(step-1), n, plan.Name())
+					fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.4f  lr %.2e  [%d ranks, %s, %s]\n",
+						epoch+1, cfg.Epochs, epochLoss.Mean(), sched.LR(step-1), n, plan.Name(), cfg.Precision)
 				}
 			}
 		}
+
+		// Capture the end-of-run training state: the ranks of the first
+		// shard block hold disjoint fp32 master/moment shards covering
+		// the whole flat space (for the replicated modes that block is
+		// rank 0 alone).
+		switch {
+		case optim != nil: // FP32 replicated
+			if r.ID() == 0 {
+				opt.PackValues(st.Master, params)
+				optim.ExportMoments(st.OptM, st.OptV)
+				st.OptStep = optim.StepCount()
+			}
+		case r.ID() < part.Shards:
+			if end := min(hi, dim); lo < end {
+				if bf16 {
+					copy(st.Master[lo:end], master[:end-lo])
+				} else {
+					copy(st.Master[lo:end], flatW[lo:end])
+				}
+				shardOpt.CopyMoments(st.OptM[lo:end], st.OptV[lo:end])
+			}
+			if r.ID() == 0 {
+				st.OptStep = shardOpt.StepCount()
+			}
+		}
 		if r.ID() == 0 {
-			res.Steps = step
+			res.Steps = step - startEpoch*stepsPerEpoch
+			st.Step = step
+			st.Epoch = lastEpoch
+			st.Precision = cfg.Precision
+			if scaler != nil {
+				st.LossScale = scaler.Scale
+				st.ScaleGoodSteps = scaler.GoodSteps()
+				res.FinalLossScale = scaler.Scale
+				res.ScaleBackoffs = scaler.Backoffs()
+				res.SkippedSteps = scaler.Skipped()
+			}
 		}
 		return nil
 	})
@@ -380,12 +574,99 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	res.Model = models[0]
 	res.replicas = models
 	res.Comm = world.Stats()
-	res.Traffic = fsdp.TrafficPerStep(plan, n, opt.FlatDim(models[0].Params()))
+	res.Traffic = fsdp.TrafficPerStep(plan, n, opt.FlatDim(models[0].Params()), cfg.Precision.WireBytes())
+	res.State = st
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 {
 		res.ImagesPerSec = float64(res.Steps*cfg.BatchSize) / elapsed
 	}
 	return res, nil
+}
+
+// bf16State bundles one rank's per-step context for the BF16
+// synchronization path.
+type bf16State struct {
+	scaler       *opt.LossScaler
+	clipNorm, lr float64
+	mode         execMode
+	bucketElems  int
+	flatG, flatW []float32
+	master       []float32
+	wire         []uint16
+	dim, lo, hi  int
+	shardGroup   *dist.Group
+	replGroup    *dist.Group
+	shardOpt     *opt.ShardedAdamW
+	params       []*nn.Param
+}
+
+// stepBF16 runs the synchronization + optimizer half of one BF16 step,
+// after flatG has been packed and scaled by lossScale/n: reduce the
+// scaled gradients over the bf16 wire, detect overflow (locally where
+// the reduction leaves replicated gradients, via a scalar all-reduce
+// where each rank sees only its shard), then either skip the update
+// (the scale backs off) or unscale, clip and update the fp32 master
+// weights, re-deriving the bf16 working copy. The parameter all-gather of the sharded modes runs
+// even on skipped steps — it is idempotent, the working copy being
+// unchanged — so every step moves exactly the wire bytes
+// fsdp.TrafficPerStep charges. The scaler keeps the skip/backoff
+// tallies (LossScaler.Skipped/Backoffs).
+func stepBF16(r *dist.Rank, s bf16State) {
+	padded := len(s.flatG)
+	// The scale the gradients currently carry; Update may move
+	// scaler.Scale before the unscale happens.
+	invScale := 1 / float32(s.scaler.Scale)
+	if s.mode == execReplicated {
+		for off := 0; off < padded; off += s.bucketElems {
+			end := off + s.bucketElems
+			if end > padded {
+				end = padded
+			}
+			r.AllReduceBF16(s.flatG[off:end], s.wire[off:end])
+		}
+		// No collective needed for the verdict here: the bf16
+		// all-reduce leaves every rank with bit-identical gradients, so
+		// the local check is already the global one.
+		if s.scaler.Update(opt.HasNonFinite(s.flatG)) {
+			return
+		}
+		tensor.Scale(s.flatG, s.flatG, invScale)
+		if s.clipNorm > 0 {
+			if norm := math.Sqrt(sumSq(s.flatG[:s.dim])); norm > s.clipNorm && norm > 0 {
+				tensor.Scale(s.flatG, s.flatG, float32(s.clipNorm/norm))
+			}
+		}
+		s.shardOpt.Step(s.lr, s.master, s.flatG)
+		tensor.RoundBF16(s.flatW, s.master)
+		opt.UnpackValues(s.params, s.flatW)
+		return
+	}
+
+	gShard := s.shardGroup.ReduceScatterBF16(r, s.flatG, s.wire)
+	if s.replGroup != nil {
+		s.replGroup.AllReduceBF16(r, gShard, s.wire[s.lo:s.hi])
+	}
+	overflow := r.AllReduceScalar(boolFlag(opt.HasNonFinite(gShard))) > 0
+	if !s.scaler.Update(overflow) {
+		tensor.Scale(gShard, gShard, invScale)
+		if s.clipNorm > 0 {
+			if norm := math.Sqrt(s.shardGroup.AllReduceScalar(r, sumSq(gShard))); norm > s.clipNorm && norm > 0 {
+				tensor.Scale(gShard, gShard, float32(s.clipNorm/norm))
+			}
+		}
+		s.shardOpt.Step(s.lr, s.master, gShard)
+		tensor.RoundBF16(s.flatW[s.lo:s.hi], s.master)
+	}
+	s.shardGroup.AllGatherBF16(r, s.flatW, nil, s.wire)
+	opt.UnpackValues(s.params, s.flatW)
+}
+
+// boolFlag maps an overflow verdict onto the scalar all-reduce domain.
+func boolFlag(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sumSq accumulates Σx² in float64, matching nn.GradL2Norm's

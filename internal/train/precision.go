@@ -1,0 +1,60 @@
+package train
+
+import "fmt"
+
+// Precision selects the numeric format of a distributed training run —
+// the axis the paper's AMP-style recipe adds on top of the strategy
+// matrix: bf16 math and communication over fp32 master weights and
+// optimizer state (14 bytes of state per parameter, the figure
+// internal/perfmodel.MixedPrecision prices).
+type Precision int
+
+const (
+	// FP32 is full single precision: parameters, gradients and every
+	// collective payload are float32. The default.
+	FP32 Precision = iota
+	// BF16 is the executed mixed-precision mode: the model computes on
+	// bf16-valued working weights, gradient reductions and parameter
+	// gathers move bf16 (uint16) payloads — exactly half the wire bytes
+	// — while AdamW updates fp32 master weights, guarded by dynamic
+	// loss scaling with overflow skip and backoff.
+	BF16
+)
+
+// String names the precision the way the CLI spells it.
+func (p Precision) String() string {
+	switch p {
+	case FP32:
+		return "fp32"
+	case BF16:
+		return "bf16"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// WireBytes returns the bytes one gradient/parameter element occupies
+// on the collective wire — the dtype width fsdp.TrafficPerStep prices.
+func (p Precision) WireBytes() int {
+	if p == BF16 {
+		return 2
+	}
+	return 4
+}
+
+// valid reports whether p is a known precision.
+func (p Precision) valid() bool { return p == FP32 || p == BF16 }
+
+// LossScaleConfig tunes dynamic loss scaling for BF16 runs (ignored
+// under FP32). Zero fields take the opt package defaults: initial scale
+// 2¹⁶, growth ×2 after 2000 clean steps, backoff ×0.5 on overflow —
+// powers of two throughout, so scaling shifts exponents without
+// perturbing bf16 rounding. Tests inject an overflow by setting Init
+// beyond float32 range, which forces the first steps to skip and the
+// scale to back off.
+type LossScaleConfig struct {
+	Init     float64
+	Growth   float64
+	Backoff  float64
+	Interval int
+}

@@ -1,0 +1,229 @@
+package train
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fsdp"
+	"repro/internal/opt"
+)
+
+// TestResumeBitwiseIdentical is the checkpoint acceptance bar: a run
+// interrupted at an epoch boundary (StopAfterEpoch), its TrainState
+// round-tripped through the gob checkpoint encoding, and resumed in a
+// fresh PretrainDistributed must produce the exact final parameters and
+// the exact per-step losses of a run that never stopped — for fp32 and
+// bf16, replicated and sharded strategies alike. Any drift in the
+// master weights, Adam moments, step counter, loss scale, mask stream
+// or sampler order fails bit-for-bit.
+func TestResumeBitwiseIdentical(t *testing.T) {
+	cases := []struct {
+		plan fsdp.Plan
+		prec Precision
+	}{
+		{fsdp.DefaultDDP(), FP32},
+		{fsdp.BestPractice(fsdp.ShardGradOp, 0), FP32},
+		{fsdp.BestPractice(fsdp.FullShard, 0), BF16},
+		{fsdp.BestPractice(fsdp.HybridShard, 2), BF16},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%s/%s", c.plan.Name(), c.prec), func(t *testing.T) {
+			base := tinyDistConfig(4, c.plan)
+			base.Epochs = 4
+			base.Precision = c.prec
+
+			ref, err := PretrainDistributed(base, tinyDataset(32))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Leg A: same configuration, interrupted after 2 epochs.
+			legA := base
+			legA.StopAfterEpoch = 2
+			a, err := PretrainDistributed(legA, tinyDataset(32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.State.Epoch != 2 || a.State.Step != ref.State.Step/2 {
+				t.Fatalf("leg A state: epoch %d step %d", a.State.Epoch, a.State.Step)
+			}
+			// Its loss curve must be the first half of the reference's.
+			for i := range a.LossCurve.Y {
+				if a.LossCurve.Y[i] != ref.LossCurve.Y[i] {
+					t.Fatalf("leg A loss differs at step %d", i)
+				}
+			}
+
+			// The state survives the on-disk encoding bit-for-bit.
+			var buf bytes.Buffer
+			if err := SaveTrainState(&buf, a.State); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := LoadTrainState(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Leg B: resume the remaining 2 epochs.
+			legB := base
+			legB.Resume = restored
+			b, err := PretrainDistributed(legB, tinyDataset(32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Steps != ref.Steps-a.Steps {
+				t.Fatalf("leg B ran %d steps, want %d", b.Steps, ref.Steps-a.Steps)
+			}
+			// No init broadcast on resume.
+			if b.Comm.Broadcast.Calls != 0 {
+				t.Errorf("resumed run broadcast %d times", b.Comm.Broadcast.Calls)
+			}
+			// Its loss curve is the second half of the reference's,
+			// bitwise, at the right absolute step indices.
+			half := len(ref.LossCurve.Y) / 2
+			for i := range b.LossCurve.Y {
+				if b.LossCurve.Y[i] != ref.LossCurve.Y[half+i] {
+					t.Fatalf("resumed loss differs at step %d: %v vs %v",
+						half+i, b.LossCurve.Y[i], ref.LossCurve.Y[half+i])
+				}
+				if b.LossCurve.X[i] != ref.LossCurve.X[half+i] {
+					t.Fatalf("resumed curve indexed at %v, want %v", b.LossCurve.X[i], ref.LossCurve.X[half+i])
+				}
+			}
+			// Final parameters identical to the uninterrupted run's.
+			dim := opt.FlatDim(ref.Model.Params())
+			want := make([]float32, dim)
+			got := make([]float32, dim)
+			opt.PackValues(want, ref.Model.Params())
+			opt.PackValues(got, b.Model.Params())
+			for j := range want {
+				if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+					t.Fatalf("resumed parameters differ at flat element %d: %v vs %v", j, got[j], want[j])
+				}
+			}
+			// And the final states agree too (master + moments), so a
+			// second resume would also continue identically.
+			for j := range ref.State.Master {
+				if math.Float32bits(b.State.Master[j]) != math.Float32bits(ref.State.Master[j]) ||
+					math.Float32bits(b.State.OptM[j]) != math.Float32bits(ref.State.OptM[j]) ||
+					math.Float32bits(b.State.OptV[j]) != math.Float32bits(ref.State.OptV[j]) {
+					t.Fatalf("resumed train state differs at flat element %d", j)
+				}
+			}
+			if b.State.OptStep != ref.State.OptStep || b.State.Step != ref.State.Step {
+				t.Fatalf("state counters: %d/%d vs %d/%d",
+					b.State.OptStep, b.State.Step, ref.State.OptStep, ref.State.Step)
+			}
+			if c.prec == BF16 && b.State.LossScale != ref.State.LossScale {
+				t.Fatalf("loss scale diverged: %v vs %v", b.State.LossScale, ref.State.LossScale)
+			}
+		})
+	}
+}
+
+// TestTrainStateFileRoundTrip exercises the file-backed checkpoint
+// path: save to disk, load, resume — the workflow cmd/pretrain wires
+// up.
+func TestTrainStateFileRoundTrip(t *testing.T) {
+	cfg := tinyDistConfig(2, fsdp.DefaultDDP())
+	cfg.Epochs = 2
+	cfg.StopAfterEpoch = 1
+	res, err := PretrainDistributed(cfg, tinyDataset(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := SaveTrainStateFile(path, res.State); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadTrainStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != res.State.Epoch || st.Step != res.State.Step || st.OptStep != res.State.OptStep {
+		t.Fatalf("counters drifted through the file: %+v", st)
+	}
+	for i := range res.State.Master {
+		if math.Float32bits(st.Master[i]) != math.Float32bits(res.State.Master[i]) {
+			t.Fatalf("master differs at %d after file round trip", i)
+		}
+	}
+	cfg.StopAfterEpoch = 0
+	cfg.Resume = st
+	if _, err := PretrainDistributed(cfg, tinyDataset(32)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainStateRejectsGarbage: malformed streams and mismatched
+// shapes fail fast instead of resuming silently wrong.
+func TestTrainStateRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrainState(bytes.NewReader([]byte("not a train state"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Moments not matching the master length.
+	var buf bytes.Buffer
+	bad := &TrainState{Master: make([]float32, 4), OptM: make([]float32, 2), OptV: make([]float32, 4)}
+	if err := SaveTrainState(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrainState(&buf); err == nil {
+		t.Fatal("mismatched moments accepted")
+	}
+}
+
+// TestResumeValidation: resume states that cannot continue this
+// configuration are rejected before any rank spawns (or at rank init
+// for shape mismatches).
+func TestResumeValidation(t *testing.T) {
+	cfg := tinyDistConfig(2, fsdp.DefaultDDP())
+	cfg.Epochs = 2
+	cfg.StopAfterEpoch = 1
+	res, err := PretrainDistributed(cfg, tinyDataset(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State
+
+	// Epoch beyond the schedule.
+	c := cfg
+	c.StopAfterEpoch = 0
+	c.Epochs = 1
+	c.Resume = st
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err == nil {
+		t.Error("resume past the final epoch accepted")
+	}
+	// Step count inconsistent with the schedule.
+	c = cfg
+	c.StopAfterEpoch = 0
+	broken := *st
+	broken.Step++
+	c.Resume = &broken
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err == nil {
+		t.Error("resume with mismatched step count accepted")
+	}
+	// Wrong model size.
+	c = cfg
+	c.StopAfterEpoch = 0
+	short := *st
+	short.Master = short.Master[:10]
+	short.OptM = short.OptM[:10]
+	short.OptV = short.OptV[:10]
+	c.Resume = &short
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err == nil {
+		t.Error("resume with wrong parameter count accepted")
+	}
+	// Precision mismatch: an FP32 state carries no loss-scale schedule,
+	// so resuming it under BF16 must fail fast rather than train with a
+	// zero scale.
+	c = cfg
+	c.StopAfterEpoch = 0
+	c.Precision = BF16
+	c.Resume = st // captured under FP32
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err == nil {
+		t.Error("FP32-captured state accepted under BF16")
+	}
+}

@@ -1,17 +1,21 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON document on stdout, so benchmark runs can be committed and
 // diffed across PRs (the perf trajectory: see `make bench`, which
-// writes BENCH_gemm.json).
+// writes BENCH_gemm.json, and `make bench-dist` for BENCH_dist.json).
 //
 // Each benchmark line becomes {name, iterations, metrics{unit: value}};
 // the surrounding goos/goarch/pkg/cpu header lines are captured as
-// top-level metadata.
+// top-level metadata. Lines that do not parse as benchmark results —
+// PASS/FAIL trailers, test log noise, truncated lines, non-numeric
+// iteration counts — are skipped rather than failing the conversion, so
+// a noisy bench run still yields a valid document.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,9 +33,11 @@ type report struct {
 	Results []result          `json:"results"`
 }
 
-func main() {
+// run converts bench output on r into indented JSON on w — the whole
+// program, factored for the golden test.
+func run(r io.Reader, w io.Writer) error {
 	rep := report{Meta: map[string]string{}, Results: []result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	pkg := ""
 	for sc.Scan() {
@@ -71,12 +77,15 @@ func main() {
 		rep.Results = append(rep.Results, res)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	return enc.Encode(rep)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

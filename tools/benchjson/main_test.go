@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGoldenConversion feeds a fixed `go test -bench` transcript — two
+// package blocks, custom metrics, and an assortment of malformed lines
+// — through run and pins the exact JSON document. This output gates
+// BENCH_gemm.json and BENCH_dist.json, so any drift in parsing or
+// encoding fails here first.
+func TestGoldenConversion(t *testing.T) {
+	const in = `goos: linux
+goarch: amd64
+pkg: repro/internal/tensor
+cpu: AMD EPYC 7713 64-Core Processor
+BenchmarkGEMM/256-8   	     100	  11839440 ns/op	        76.02 GFLOP/s	       0 B/op	       0 allocs/op
+BenchmarkToBF16-8     	   69642	     17041 ns/op	15382.93 MB/s
+PASS
+ok  	repro/internal/tensor	2.345s
+pkg: repro/internal/train
+BenchmarkDistStep/DDP/ranks=2/prec=bf16-8         	      20	   2133304 ns/op	      7525 images/s	       468.8 steps/s
+BenchmarkBroken notanumber 12 ns/op
+BenchmarkTooShort 42
+Benchmark
+some stray log line
+BenchmarkTrailingValue-8 	      10	      99.5 ns/op	      1234
+PASS
+`
+	const want = `{
+  "meta": {
+    "cpu": "AMD EPYC 7713 64-Core Processor",
+    "goarch": "amd64",
+    "goos": "linux"
+  },
+  "results": [
+    {
+      "name": "BenchmarkGEMM/256-8",
+      "pkg": "repro/internal/tensor",
+      "iterations": 100,
+      "metrics": {
+        "B/op": 0,
+        "GFLOP/s": 76.02,
+        "allocs/op": 0,
+        "ns/op": 11839440
+      }
+    },
+    {
+      "name": "BenchmarkToBF16-8",
+      "pkg": "repro/internal/tensor",
+      "iterations": 69642,
+      "metrics": {
+        "MB/s": 15382.93,
+        "ns/op": 17041
+      }
+    },
+    {
+      "name": "BenchmarkDistStep/DDP/ranks=2/prec=bf16-8",
+      "pkg": "repro/internal/train",
+      "iterations": 20,
+      "metrics": {
+        "images/s": 7525,
+        "ns/op": 2133304,
+        "steps/s": 468.8
+      }
+    },
+    {
+      "name": "BenchmarkTrailingValue-8",
+      "pkg": "repro/internal/train",
+      "iterations": 10,
+      "metrics": {
+        "ns/op": 99.5
+      }
+    }
+  ]
+}
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != want {
+		t.Errorf("JSON drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEmptyInput: no input still yields a valid, empty document (the
+// Makefile pipes may legitimately see an empty bench run under -run
+// filters).
+func TestEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "meta": {},
+  "results": []
+}
+`
+	if out.String() != want {
+		t.Errorf("empty conversion: %s", out.String())
+	}
+}
+
+// TestMalformedOnly: a stream of exclusively malformed benchmark lines
+// converts cleanly to zero results instead of erroring half way.
+func TestMalformedOnly(t *testing.T) {
+	in := "BenchmarkX abc 1 ns/op\nBenchmark\nnoise\nBenchmarkY 12\n"
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"results": []`) {
+		t.Errorf("malformed-only input produced results: %s", out.String())
+	}
+}
