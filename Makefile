@@ -22,7 +22,7 @@ test-all:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./geofm/ ./cmd/pretrain/
+	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./internal/mae/ ./internal/dataload/ ./geofm/ ./cmd/pretrain/
 	$(GO) test -race -run BF16 ./internal/tensor/
 
 # Docs gate: formatting, vet, and a package comment on every package.

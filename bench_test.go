@@ -49,7 +49,7 @@ func BenchmarkTableII_DatasetGen(b *testing.B) {
 func BenchmarkFig1_WeakScalingMAE3B(b *testing.B) {
 	var gap64 float64
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Fig1Experiment(nil)
+		t, err := experiments.Fig1Experiment(nil, perfmodel.Precision{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func BenchmarkFig3_WeakScalingSmall(b *testing.B) {
 
 func BenchmarkFig3_FullTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig3Experiment(nil); err != nil {
+		if _, err := experiments.Fig3Experiment(nil, perfmodel.Precision{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +121,7 @@ func BenchmarkFig4_LargeModels(b *testing.B) {
 
 func BenchmarkFig4_FullTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4Experiment(nil); err != nil {
+		if _, err := experiments.Fig4Experiment(nil, perfmodel.Precision{}); err != nil {
 			b.Fatal(err)
 		}
 	}

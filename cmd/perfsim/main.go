@@ -7,6 +7,7 @@
 //	perfsim -fig all            # everything
 //	perfsim -fig 1 -nodes 1,2,4,8,16,32,64
 //	perfsim -fig 4 -trace       # include the rocm-smi trace CSV
+//	perfsim -fig 3 -precision fp32   # what-if: full fp32 instead of AMP bf16
 package main
 
 import (
@@ -17,15 +18,21 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/perfmodel"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which artifact to regenerate: table1, table2, 1, 2, 3, 4, minmem, all")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (default: the paper's sweep)")
 	withTrace := flag.Bool("trace", false, "emit the Figure 4 rocm-smi trace CSVs")
+	precFlag := flag.String("precision", "bf16", "numeric profile for the scaling figures: bf16 (the paper's AMP recipe) or fp32")
 	flag.Parse()
 
 	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	prec, err := perfmodel.PrecisionByName(*precFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -39,7 +46,7 @@ func main() {
 		fmt.Println(experiments.TableIIExperiment(10, 32, 3, 42).Render())
 	}
 	if want("1") {
-		t, err := experiments.Fig1Experiment(nodes)
+		t, err := experiments.Fig1Experiment(nodes, prec)
 		if err != nil {
 			fatal(err)
 		}
@@ -53,14 +60,14 @@ func main() {
 		fmt.Println(t.Render())
 	}
 	if want("3") {
-		t, err := experiments.Fig3Experiment(nodes)
+		t, err := experiments.Fig3Experiment(nodes, prec)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(t.Render())
 	}
 	if want("4") {
-		t, err := experiments.Fig4Experiment(nodes)
+		t, err := experiments.Fig4Experiment(nodes, prec)
 		if err != nil {
 			fatal(err)
 		}

@@ -18,15 +18,22 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/perfmodel"
 )
 
 func main() {
 	scaleName := flag.String("scale", "demo", "downstream training scale: test (seconds) or demo (minutes)")
 	skipTraining := flag.Bool("skip-training", false, "skip the real-training Section V experiments")
 	extensions := flag.Bool("extensions", false, "also run the Section VI extension tasks (few-shot, segmentation, fine-tuning)")
+	precFlag := flag.String("precision", "bf16", "numeric profile for the simulated scaling figures: bf16 (the paper's) or fp32")
 	out := flag.String("out", "", "also write the report to this file")
 	verbose := flag.Bool("v", false, "stream per-epoch training logs")
 	flag.Parse()
+
+	prec, err := perfmodel.PrecisionByName(*precFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	var sinks []io.Writer
 	sinks = append(sinks, os.Stdout)
@@ -55,10 +62,10 @@ func main() {
 		}
 		fmt.Fprintln(w, t.Render())
 	}
-	run("fig1", func() (experiments.Table, error) { return experiments.Fig1Experiment(nil) })
+	run("fig1", func() (experiments.Table, error) { return experiments.Fig1Experiment(nil, prec) })
 	run("fig2", experiments.Fig2Experiment)
-	run("fig3", func() (experiments.Table, error) { return experiments.Fig3Experiment(nil) })
-	run("fig4", func() (experiments.Table, error) { return experiments.Fig4Experiment(nil) })
+	run("fig3", func() (experiments.Table, error) { return experiments.Fig3Experiment(nil, prec) })
+	run("fig4", func() (experiments.Table, error) { return experiments.Fig4Experiment(nil, prec) })
 	run("fig4-trace", func() (experiments.Table, error) {
 		_, t, err := experiments.Fig4TraceExperiment()
 		return t, err

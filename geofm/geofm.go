@@ -31,6 +31,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/probe"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/train"
 	"repro/internal/vit"
 )
@@ -120,7 +121,13 @@ func LoadCheckpoint(path string, params []*nn.Param) (int, error) {
 // ZeRO-1 (SHARD_GRAD_OP), FULL_SHARD with parameter resharding between
 // forward and backward, and the two-level HYBRID_kGPUs scheme over
 // shard/replica subgroup communicators — and Link is the α–β model
-// each executed collective is priced against.
+// each executed collective is priced against. Overlap launches each
+// gradient bucket's collective the moment the layer-granular backward
+// finalizes it (bitwise identical to the synchronous schedule),
+// AccumSteps accumulates micro-batches into one optimizer step with
+// collectives firing once per window, and Throttle realizes the
+// modeled collective time as executed delay so the overlap win is
+// measurable (DistPretrainResult.Breakdown).
 type DistPretrainConfig = train.DistConfig
 
 // DistPretrainResult extends PretrainResult with the world size, the
@@ -188,6 +195,12 @@ func DefaultDistPretrain(m MAEConfig, ranks int) DistPretrainConfig {
 func PretrainDistributed(cfg DistPretrainConfig, ds *Dataset) (*DistPretrainResult, error) {
 	return train.PretrainDistributed(cfg, ds)
 }
+
+// ExecBreakdown decomposes an executed run's wall-clock into compute
+// and exposed communication (DistPretrainResult.Breakdown) — the
+// measured counterpart of the simulator's ComputeTime/ExposedComm
+// split, and the quantity the overlap mode shrinks.
+type ExecBreakdown = trace.ExecBreakdown
 
 // StepTraffic is the per-rank wire-byte accounting of one step's
 // parameter/gradient synchronization.

@@ -18,6 +18,7 @@ package dataload
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -41,6 +42,12 @@ type Batch struct {
 	Images []float32
 	Labels []int
 	Size   int
+
+	// inPool guards against double-Recycle: a batch returned to the
+	// pool twice could be handed to two workers at once, which would
+	// race on Images and deliver a corrupted batch. Flipped by Recycle
+	// and cleared when a worker takes the batch back out.
+	inPool atomic.Bool
 }
 
 // Loader streams shuffled, batched samples from a Source.
@@ -142,11 +149,17 @@ func (l *Loader) BatchesPerEpoch() int {
 
 // Recycle returns a batch's buffers to the loader pool. The batch must
 // not be touched afterwards — a loader worker may immediately reuse it
-// for an in-flight batch.
+// for an in-flight batch. Recycling the same batch twice panics: a
+// double-put would let two workers write the same buffers
+// concurrently and deliver corrupted samples.
 func (l *Loader) Recycle(b *Batch) {
-	if b != nil {
-		l.pool.Put(b)
+	if b == nil {
+		return
 	}
+	if b.inPool.Swap(true) {
+		panic("dataload: batch recycled twice (still owned by the pool)")
+	}
+	l.pool.Put(b)
 }
 
 // batchJob is one batch's work order plus its completion signal.
@@ -158,11 +171,16 @@ type batchJob struct {
 
 // SkipEpochs advances the loader's shuffle stream as if k epochs had
 // been drawn and fully discarded — no samples are rendered and no
-// workers launch. A run resuming from a step-k·BatchesPerEpoch
-// checkpoint calls this once so its subsequent epochs reproduce the
-// exact per-epoch sample orders the uninterrupted run saw (the shuffle
-// consumes the deterministic seed stream per epoch, independent of the
-// array contents).
+// workers launch, so it is safe with any Workers setting: the batch
+// pool is untouched (nothing to double-put) and no recycled batch can
+// still be held by a worker, because workers only exist while an
+// Epoch/EpochN is being drained. Call it before the first epoch (as
+// the resume path does), not while one is in flight — the shuffle
+// stream is not synchronized against a concurrent EpochN. A run
+// resuming from a step-k·BatchesPerEpoch checkpoint calls this once so
+// its subsequent epochs reproduce the exact per-epoch sample orders
+// the uninterrupted run saw (the shuffle consumes the deterministic
+// seed stream per epoch, independent of the array contents).
 func (l *Loader) SkipEpochs(k int) {
 	if !l.shuffle || k <= 0 {
 		return
@@ -226,6 +244,7 @@ func (l *Loader) EpochN(maxBatches int) <-chan *Batch {
 		go func() {
 			for j := range jobCh {
 				b := l.pool.Get().(*Batch)
+				b.inPool.Store(false)
 				b.Size = len(j.indices)
 				b.Images = b.Images[:b.Size*imgLen]
 				b.Labels = b.Labels[:b.Size]

@@ -349,3 +349,84 @@ func TestSkipEpochsMatchesDrainedEpochs(t *testing.T) {
 		}
 	}
 }
+
+// TestRecycleTwicePanics pins the double-put guard: returning the same
+// batch to the pool twice would let two workers write its buffers
+// concurrently, so Recycle must fail fast instead.
+func TestRecycleTwicePanics(t *testing.T) {
+	src := newCountingSource(16, 4)
+	l := New(src, Config{BatchSize: 4, Workers: 2, Seed: 1})
+	var batches []*Batch
+	for b := range l.Epoch() {
+		batches = append(batches, b)
+	}
+	l.Recycle(batches[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Recycle of the same batch did not panic")
+		}
+	}()
+	l.Recycle(batches[0])
+}
+
+// TestRecycledBatchReuseIsExclusive hammers the pool under Workers>1
+// with immediate recycling (the training loop's pattern): every
+// delivered batch must carry exactly its own samples — a batch handed
+// back out while still held by a worker, or handed to two workers,
+// corrupts the payload. Run under -race this also proves the pool
+// handoff is properly synchronized.
+func TestRecycledBatchReuseIsExclusive(t *testing.T) {
+	src := newCountingSource(256, 8)
+	l := New(src, Config{BatchSize: 4, Workers: 4, Shuffle: true, Seed: 7})
+	for epoch := 0; epoch < 3; epoch++ {
+		for b := range l.Epoch() {
+			for k := 0; k < b.Size; k++ {
+				idx := b.Images[k*8] // Sample fills dst with float32(i), labels i%7
+				if int(idx)%7 != b.Labels[k] {
+					t.Fatalf("epoch %d: batch sample %d carries image of index %v but label %d",
+						epoch, k, idx, b.Labels[k])
+				}
+				for j := 1; j < 8; j++ {
+					if b.Images[k*8+j] != idx {
+						t.Fatalf("epoch %d: sample %d torn: %v vs %v", epoch, k, b.Images[k*8+j], idx)
+					}
+				}
+			}
+			l.Recycle(b)
+		}
+	}
+}
+
+// TestSkipEpochsThenWorkersBitwise is the PR 4 resume-path regression:
+// SkipEpochs followed by multi-worker epochs must deliver exactly the
+// sample orders the uninterrupted multi-worker run saw — no recycled
+// batch delivered while a worker still held it, no pool double-put
+// (the Recycle guard panics on one), and identical payload bytes.
+func TestSkipEpochsThenWorkersBitwise(t *testing.T) {
+	const epochs = 4
+	drain := func(l *Loader, n int) [][]int {
+		var all [][]int
+		for e := 0; e < n; e++ {
+			var labels []int
+			for b := range l.Epoch() {
+				labels = append(labels, b.Labels[:b.Size]...)
+				l.Recycle(b)
+			}
+			all = append(all, labels)
+		}
+		return all
+	}
+	ref := drain(New(newCountingSource(64, 4), Config{BatchSize: 8, Workers: 4, Shuffle: true, Seed: 5}), epochs)
+
+	resumed := New(newCountingSource(64, 4), Config{BatchSize: 8, Workers: 4, Shuffle: true, Seed: 5})
+	resumed.SkipEpochs(2)
+	got := drain(resumed, epochs-2)
+	for e := range got {
+		for i := range got[e] {
+			if got[e][i] != ref[e+2][i] {
+				t.Fatalf("resumed epoch %d sample %d: label %d, uninterrupted run saw %d",
+					e+2, i, got[e][i], ref[e+2][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/rng"
+)
+
+// TestAsyncAllReduceMatchesSyncBitwise: a bucketed async all-reduce
+// schedule (issue everything, wait at the end) must leave every rank
+// with bit-for-bit the buffers of the synchronous bucket loop, and the
+// measured byte accounting must be identical — the keystone of the
+// overlapped training path.
+func TestAsyncAllReduceMatchesSyncBitwise(t *testing.T) {
+	const n, elems, buckets = 4, 64, 4
+	mk := func() [][]float32 {
+		g := rng.New(7)
+		out := make([][]float32, n)
+		for r := range out {
+			out[r] = make([]float32, elems)
+			g.FillNormal(out[r], 0, 1)
+		}
+		return out
+	}
+
+	run := func(async bool) ([][]float32, Stats) {
+		bufs := mk()
+		w := New(n, Options{})
+		err := w.Run(func(r *Rank) error {
+			be := elems / buckets
+			if async {
+				var hs []*Handle
+				for off := 0; off < elems; off += be {
+					hs = append(hs, r.AllReduceAsync(bufs[r.ID()][off:off+be]))
+				}
+				for _, h := range hs {
+					h.Wait()
+				}
+			} else {
+				for off := 0; off < elems; off += be {
+					r.AllReduce(bufs[r.ID()][off : off+be])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bufs, w.Stats()
+	}
+
+	sync, syncStats := run(false)
+	asy, asyStats := run(true)
+	for r := range sync {
+		for i := range sync[r] {
+			if math.Float32bits(sync[r][i]) != math.Float32bits(asy[r][i]) {
+				t.Fatalf("rank %d element %d: async %v != sync %v", r, i, asy[r][i], sync[r][i])
+			}
+		}
+	}
+	if asyStats.AllReduce.MeasuredWireBytes != syncStats.AllReduce.MeasuredWireBytes ||
+		asyStats.AllReduce.Calls != syncStats.AllReduce.Calls ||
+		asyStats.AllReduce.ModelWireBytes != syncStats.AllReduce.ModelWireBytes {
+		t.Fatalf("async accounting %+v != sync %+v", asyStats.AllReduce, syncStats.AllReduce)
+	}
+}
+
+// TestAsyncReduceScatterShard: the handle's Wait returns the caller's
+// fully reduced shard — the same view the synchronous call returns.
+func TestAsyncReduceScatterShard(t *testing.T) {
+	const n, elems = 4, 32
+	w := New(n, Options{})
+	err := w.Run(func(r *Rank) error {
+		buf := make([]float32, elems)
+		for i := range buf {
+			buf[i] = float32(r.ID()*elems + i)
+		}
+		h := r.ReduceScatterAsync(buf)
+		shard := h.Wait()
+		cs := elems / n
+		for i := range shard {
+			var want float32
+			for peer := 0; peer < n; peer++ {
+				want += float32(peer*elems + r.ID()*cs + i)
+			}
+			if shard[i] != want {
+				return fmt.Errorf("rank %d shard[%d] = %v, want %v", r.ID(), i, shard[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncTwoLevelChaining exercises the HYBRID_SHARD composite: a
+// shard-group reduce-scatter chained (via ...After) into a
+// replica-group all-reduce must equal the synchronous two-level
+// schedule bitwise — including when several buckets are in flight at
+// once.
+func TestAsyncTwoLevelChaining(t *testing.T) {
+	const n, g, elems, buckets = 4, 2, 48, 3
+	repl := n / g
+	mk := func() [][]float32 {
+		gen := rng.New(11)
+		out := make([][]float32, n)
+		for r := range out {
+			out[r] = make([]float32, elems)
+			gen.FillNormal(out[r], 0, 1)
+		}
+		return out
+	}
+	run := func(async bool) [][]float32 {
+		bufs := mk()
+		w := New(n, Options{})
+		err := w.Run(func(r *Rank) error {
+			first := r.ID() / g * g
+			shardRanks := []int{first, first + 1}
+			peers := make([]int, repl)
+			for i := range peers {
+				peers[i] = r.ID()%g + i*g
+			}
+			sg := w.Subgroup(shardRanks)
+			rg := w.Subgroup(peers)
+			idx := r.ID() - first
+			be := elems / buckets
+			cl := be / g
+			buf := bufs[r.ID()]
+			if async {
+				var hs []*Handle
+				for b := buckets - 1; b >= 0; b-- {
+					span := buf[b*be : (b+1)*be]
+					rs := sg.ReduceScatterAsync(r, span)
+					hs = append(hs, rg.AllReduceAsyncAfter(r, span[idx*cl:(idx+1)*cl], rs))
+				}
+				for _, h := range hs {
+					h.Wait()
+				}
+			} else {
+				for b := buckets - 1; b >= 0; b-- {
+					span := buf[b*be : (b+1)*be]
+					shard := sg.ReduceScatter(r, span)
+					rg.AllReduce(r, shard)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bufs
+	}
+	sync := run(false)
+	asy := run(true)
+	// Compare each rank's owned chunk of each bucket (the rest is ring
+	// garbage in both schedules).
+	be := elems / buckets
+	cl := be / g
+	for r := 0; r < n; r++ {
+		idx := r % g
+		for b := 0; b < buckets; b++ {
+			for i := 0; i < cl; i++ {
+				at := b*be + idx*cl + i
+				if math.Float32bits(sync[r][at]) != math.Float32bits(asy[r][at]) {
+					t.Fatalf("rank %d bucket %d chunk elem %d: async %v != sync %v",
+						r, b, i, asy[r][at], sync[r][at])
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncBF16MatchesSync: the bf16 wire variants stay bit-identical
+// between async and sync issue, and move exactly half the fp32 bytes.
+func TestAsyncBF16MatchesSync(t *testing.T) {
+	const n, elems = 4, 64
+	mk := func() [][]float32 {
+		g := rng.New(3)
+		out := make([][]float32, n)
+		for r := range out {
+			out[r] = make([]float32, elems)
+			g.FillNormal(out[r], 0, 1)
+		}
+		return out
+	}
+	run := func(async bool) ([][]float32, Stats) {
+		bufs := mk()
+		w := New(n, Options{})
+		err := w.Run(func(r *Rank) error {
+			wire := make([]uint16, elems)
+			if async {
+				r.AllReduceBF16Async(bufs[r.ID()], wire).Wait()
+			} else {
+				r.AllReduceBF16(bufs[r.ID()], wire)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bufs, w.Stats()
+	}
+	sync, _ := run(false)
+	asy, st := run(true)
+	for r := range sync {
+		for i := range sync[r] {
+			if math.Float32bits(sync[r][i]) != math.Float32bits(asy[r][i]) {
+				t.Fatalf("rank %d element %d differs", r, i)
+			}
+		}
+	}
+	want := 2 * float64(n-1) / float64(n) * float64(elems) * 2
+	if st.AllReduce.MeasuredWireBytes != want {
+		t.Fatalf("bf16 async bytes %v, want %v", st.AllReduce.MeasuredWireBytes, want)
+	}
+}
+
+// TestAsyncAbort: a rank that fails while peers have collectives in
+// flight must unblock their Wait with ErrAborted instead of
+// deadlocking.
+func TestAsyncAbort(t *testing.T) {
+	w := New(2, Options{})
+	boom := errors.New("boom")
+	err := w.Run(func(r *Rank) error {
+		if r.ID() == 1 {
+			return boom
+		}
+		buf := make([]float32, 8)
+		h := r.AllReduceAsync(buf)
+		defer func() {
+			if p := recover(); p == nil {
+				t.Error("Wait did not re-raise the abort")
+			} else if e, ok := p.(error); !ok || !errors.Is(e, ErrAborted) {
+				t.Errorf("Wait panicked with %v, want ErrAborted", p)
+			}
+		}()
+		h.Wait()
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want the originating error", err)
+	}
+}
+
+// TestAsyncFIFOOrdering: operations issued on one group execute in
+// issue order — a later all-gather observes the earlier all-reduce's
+// result.
+func TestAsyncFIFOOrdering(t *testing.T) {
+	const n = 3
+	w := New(n, Options{})
+	err := w.Run(func(r *Rank) error {
+		sum := make([]float32, n)
+		for i := range sum {
+			sum[i] = 1
+		}
+		gathered := make([]float32, n)
+		h1 := r.AllReduceAsync(sum)
+		// The all-gather contribution reads sum's chunk — legal only
+		// because FIFO guarantees h1 ran first. (sum[r] == n after the
+		// all-reduce.)
+		h2 := r.AllGatherAsync(gathered, sum[r.ID():r.ID()+1])
+		h1.Wait()
+		h2.Wait()
+		for i, v := range gathered {
+			if v != n {
+				return fmt.Errorf("rank %d gathered[%d] = %v, want %v", r.ID(), i, v, float32(n))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThrottleRealizesModeledTime: with Options.Throttle the executed
+// wall-clock of a collective is at least the α–β model's prediction.
+func TestThrottleRealizesModeledTime(t *testing.T) {
+	link := comm.Params{Bandwidth: 1e6, HopLat: 1e-6, Launch: 1e-5} // 1 MB/s: 64 KiB AR ≈ 0.2 s
+	w := New(2, Options{Link: link, Throttle: 1})
+	buf := make([]float32, 16384)
+	start := time.Now()
+	err := w.Run(func(r *Rank) error {
+		local := make([]float32, len(buf))
+		r.AllReduce(local)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	want := comm.AllReduce(float64(len(buf)*4), 2, link).Time
+	if elapsed < want {
+		t.Fatalf("throttled all-reduce took %.3fs, model predicts at least %.3fs", elapsed, want)
+	}
+	if st := w.Stats(); st.AllReduce.ModelTime <= 0 {
+		t.Fatalf("no model time recorded: %+v", st.AllReduce)
+	}
+}
+
+// TestAsyncWorldReuse: queues restart cleanly across Runs of the same
+// world.
+func TestAsyncWorldReuse(t *testing.T) {
+	w := New(2, Options{})
+	for run := 0; run < 3; run++ {
+		err := w.Run(func(r *Rank) error {
+			buf := []float32{1, 2}
+			r.AllReduceAsync(buf).Wait()
+			if buf[0] != 2 {
+				return fmt.Errorf("run %d: got %v", run, buf[0])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Stats().AllReduce.Calls; got != 3 {
+		t.Fatalf("calls %d, want 3", got)
+	}
+}

@@ -17,8 +17,16 @@ type Rank struct {
 
 	// sentBytes counts what this rank physically sent to a ring
 	// successor — in the world ring or any subgroup ring — per
-	// collective kind: the measured side of Stats.
+	// collective kind: the measured side of Stats. Written either by
+	// the rank's own goroutine (synchronous collectives) or by its
+	// async queue workers; Handle.Wait orders the two, so the counters
+	// are race-free under the async protocol's ownership rules.
 	sentBytes [numOps]int64
+
+	// queues are the rank's per-group async issue queues (lazily
+	// started worker goroutines; see async.go). Touched only from the
+	// rank's own goroutine.
+	queues map[*Group]*asyncQueue
 }
 
 // ID returns the rank index in [0, Size).
@@ -162,6 +170,12 @@ func (m member) begin() time.Time {
 func (m member) end(op Op, c comm.Cost, t0 time.Time) {
 	if m.r.id == 0 {
 		m.g.w.record(op, c, time.Since(t0))
+	}
+	// Congested-link mode: realize the modeled cost as wall time on
+	// every rank, so executed step times carry the α–β collective cost
+	// the simulator prices (Options.Throttle).
+	if th := m.g.w.throttle; th > 0 && c.Time > 0 {
+		time.Sleep(time.Duration(c.Time * th * float64(time.Second)))
 	}
 }
 

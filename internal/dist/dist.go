@@ -42,6 +42,21 @@
 // multiple of the world size so chunks are uniform and the measured
 // volume matches the model exactly; callers pad (see opt.PadTo).
 //
+// # Asynchronous handles
+//
+// Every collective also exists in an asynchronous form
+// (AllReduceAsync, ReduceScatterAsync, AllGatherAsync and their BF16
+// twins, plus ...After chaining across groups): the ring machinery
+// runs on a per-(rank, group) worker goroutine fed by a FIFO issue
+// queue, and Handle.Wait synchronizes — the executed analog of a GPU
+// side stream, which the overlapped training path uses to hide
+// gradient reductions behind backward compute. Async and synchronous
+// issue run the identical deterministic rings, so results and byte
+// accounting are bit-for-bit the same; see async.go for the protocol.
+// Options.Throttle additionally realizes each collective's α–β modeled
+// time as executed delay, making hidden versus exposed communication
+// measurable in wall-clock.
+//
 // # Subgroups
 //
 // World.Subgroup carves a Group — a communicator over a subset of the
@@ -72,6 +87,17 @@ type Options struct {
 	// (measured vs modeled in Stats). A zero Link defaults to
 	// DefaultLink(n).
 	Link comm.Params
+	// Throttle > 0 turns the modeled collective cost into a real
+	// in-process delay: every rank sleeps Throttle × the α–β predicted
+	// time of each collective it completes (1 = real time on the
+	// configured Link, larger = a proportionally more congested link).
+	// In-process channel hops are far faster than a GPU fabric, so
+	// without throttling every collective is effectively free and
+	// communication–computation overlap has nothing to hide; with it
+	// the executed step times expose the same overlap economics the
+	// fsdp simulator prices, measurably (see the overlap benchmarks in
+	// internal/train).
+	Throttle float64
 }
 
 // DefaultLink returns the modeled link for an n-rank group co-located
@@ -170,8 +196,9 @@ func (s Stats) ByOp(o Op) OpStats {
 
 // World is a set of in-process ranks joined by ring channels.
 type World struct {
-	n    int
-	link comm.Params
+	n        int
+	link     comm.Params
+	throttle float64
 
 	ranks []*Rank
 
@@ -209,10 +236,11 @@ func New(n int, opts Options) *World {
 		link = DefaultLink(n)
 	}
 	w := &World{
-		n:     n,
-		link:  link,
-		subs:  make(map[string]*Group),
-		abort: make(chan struct{}),
+		n:        n,
+		link:     link,
+		throttle: opts.Throttle,
+		subs:     make(map[string]*Group),
+		abort:    make(chan struct{}),
 	}
 	all := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -258,6 +286,9 @@ func (w *World) Run(fn func(r *Rank) error) error {
 					w.doAbort()
 				}
 			}()
+			// Async issue queues live for one Run: whatever fn leaves
+			// queued is abandoned when the rank exits.
+			defer r.closeAsync()
 			errs[r.id] = fn(r)
 		}(w.ranks[i])
 	}

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/perfmodel"
 )
 
 func TestTableRender(t *testing.T) {
@@ -40,7 +42,7 @@ func TestTableIIExperiment(t *testing.T) {
 }
 
 func TestFig1Experiment(t *testing.T) {
-	tab, err := Fig1Experiment([]int{1, 4, 64})
+	tab, err := Fig1Experiment([]int{1, 4, 64}, perfmodel.Precision{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestFig2Experiment(t *testing.T) {
 }
 
 func TestFig3Experiment(t *testing.T) {
-	tab, err := Fig3Experiment([]int{1, 8})
+	tab, err := Fig3Experiment([]int{1, 8}, perfmodel.Precision{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestFig3Experiment(t *testing.T) {
 }
 
 func TestFig4Experiment(t *testing.T) {
-	tab, err := Fig4Experiment([]int{4, 32})
+	tab, err := Fig4Experiment([]int{4, 32}, perfmodel.Precision{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,6 +185,54 @@ func TestRunExtensionsEndToEnd(t *testing.T) {
 	for _, want := range []string{"few-shot (k=1)", "segmentation probe", "fine-tune"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigPrecisionThreading: the scaling figures accept a numeric
+// profile instead of hard-coding element sizes — fp32 must show higher
+// per-GPU memory and no higher throughput than the paper's bf16
+// profile, and the zero value must keep the published (bf16) tables.
+func TestFigPrecisionThreading(t *testing.T) {
+	def, err := Fig3Experiment([]int{8}, perfmodel.Precision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Fig3Experiment([]int{8}, perfmodel.MixedPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fig3Experiment([]int{8}, perfmodel.FP32Precision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bf.Title, "bf16") || !strings.Contains(fp.Title, "fp32") {
+		t.Fatalf("titles do not name the precision: %q / %q", bf.Title, fp.Title)
+	}
+	for r := range def.Rows {
+		for c := range def.Rows[r] {
+			if def.Rows[r][c] != bf.Rows[r][c] {
+				t.Fatalf("zero-value precision drifted from the published bf16 table at row %d col %d", r, c)
+			}
+		}
+	}
+	for r := range bf.Rows {
+		bfMem, fpMem := mustF(t, bf.Rows[r][2]), mustF(t, fp.Rows[r][2])
+		if fpMem <= bfMem {
+			t.Fatalf("row %d (%s/%s): fp32 memory %v GB not above bf16 %v GB",
+				r, bf.Rows[r][0], bf.Rows[r][1], fpMem, bfMem)
+		}
+		// Throughput ordering: the FSDP family doubles its wire width
+		// under fp32, so bf16 must be at least as fast. DDP is exempt —
+		// it reduces at master width either way (GradReduceBytes), and
+		// bf16's extra working-copy state makes its optimizer sweep
+		// marginally slower.
+		if bf.Rows[r][1] != "DDP" {
+			bfIPS, fpIPS := mustF(t, bf.Rows[r][3]), mustF(t, fp.Rows[r][3])
+			if fpIPS > bfIPS {
+				t.Fatalf("row %d (%s/%s): fp32 throughput %v above bf16 %v",
+					r, bf.Rows[r][0], bf.Rows[r][1], fpIPS, bfIPS)
+			}
 		}
 	}
 }

@@ -77,17 +77,23 @@ func TableIIExperiment(scale, imageSize, channels int, seed uint64) Table {
 
 // Fig1Experiment regenerates Figure 1: weak scaling of MAE-3B
 // pretraining with the real / syn / syn-no-comm / IO / ideal series.
-func Fig1Experiment(nodes []int) (Table, error) {
+// prec selects the numeric profile of the simulated training (the zero
+// value defaults to the paper's bf16 mixed precision); the IO curve is
+// precision-independent, since the loader decodes fp32 pixels either
+// way.
+func Fig1Experiment(nodes []int, prec perfmodel.Precision) (Table, error) {
 	if len(nodes) == 0 {
 		nodes = Fig1Nodes
 	}
+	prec = normalizePrecision(prec)
 	m := hw.Frontier()
 	w := perfmodel.MAEWorkload(fig1Model(), 32, 0.75)
+	w.Prec = prec
 	io := perfmodel.DefaultIO()
 	plan := fsdp.BestPractice(fsdp.NoShard, 0)
 
 	t := Table{
-		Title:  "Figure 1 — MAE ViT-3B weak scaling (images/s), NO_SHARD, local batch 32",
+		Title:  "Figure 1 — MAE ViT-3B weak scaling (images/s), NO_SHARD, local batch 32, " + precisionName(prec),
 		Header: []string{"Nodes", "GPUs", "ideal", "IO", "syn_no_comm", "syn", "real", "comm gap %"},
 	}
 	base, err := fsdp.Simulate(w, m, 1, plan)
@@ -160,14 +166,17 @@ func fig3Strategies() []fsdp.Plan {
 
 // Fig3Experiment regenerates Figure 3: weak scaling and memory of
 // ViT-Base/Huge/1B/3B under DDP, NO_SHARD, HYBRID_1GPU, HYBRID_2GPUs,
-// FULL_SHARD.
-func Fig3Experiment(nodes []int) (Table, error) {
+// FULL_SHARD. prec selects the numeric profile (zero = the paper's
+// bf16 mixed precision; DDP still reduces master-width gradients, per
+// Precision.GradReduceBytes).
+func Fig3Experiment(nodes []int, prec perfmodel.Precision) (Table, error) {
 	if len(nodes) == 0 {
 		nodes = Fig3Nodes
 	}
+	prec = normalizePrecision(prec)
 	m := hw.Frontier()
 	t := Table{
-		Title:  "Figure 3 — weak scaling (images/s) and per-GPU memory (GB), local batch 32",
+		Title:  "Figure 3 — weak scaling (images/s) and per-GPU memory (GB), local batch 32, " + precisionName(prec),
 		Header: []string{"Model", "Strategy", "Mem GB"},
 	}
 	for _, n := range nodes {
@@ -175,6 +184,7 @@ func Fig3Experiment(nodes []int) (Table, error) {
 	}
 	for _, cfg := range []vit.Config{vit.ViTBase, vit.ViTHuge, vit.ViT1B, vit.ViT3B} {
 		w := perfmodel.ViTWorkload(cfg, 32)
+		w.Prec = prec
 		for _, plan := range fig3Strategies() {
 			row := []string{cfg.Name, plan.Name(), ""}
 			var mem float64
@@ -197,14 +207,16 @@ func Fig3Experiment(nodes []int) (Table, error) {
 }
 
 // Fig4Experiment regenerates Figure 4's throughput/memory panels for
-// ViT-5B and ViT-15B, which do not fit on a single GPU.
-func Fig4Experiment(nodes []int) (Table, error) {
+// ViT-5B and ViT-15B, which do not fit on a single GPU. prec selects
+// the numeric profile (zero = the paper's bf16 mixed precision).
+func Fig4Experiment(nodes []int, prec perfmodel.Precision) (Table, error) {
 	if len(nodes) == 0 {
 		nodes = []int{4, 8, 16, 32, 64}
 	}
+	prec = normalizePrecision(prec)
 	m := hw.Frontier()
 	t := Table{
-		Title:  "Figure 4 — ViT-5B and ViT-15B weak scaling (images/s) and per-GPU memory (GB)",
+		Title:  "Figure 4 — ViT-5B and ViT-15B weak scaling (images/s) and per-GPU memory (GB), " + precisionName(prec),
 		Header: []string{"Model", "Strategy", "Mem GB"},
 	}
 	for _, n := range nodes {
@@ -234,6 +246,7 @@ func Fig4Experiment(nodes []int) (Table, error) {
 	}
 	for _, c := range cases {
 		w := perfmodel.ViTWorkload(c.cfg, 32)
+		w.Prec = prec
 		w.ActCheckpoint = c.ckpt
 		for _, plan := range c.plans {
 			row := []string{c.cfg.Name, plan.Name(), ""}
@@ -306,4 +319,27 @@ func MinGPUTable() Table {
 			fmt.Sprint(fsdp.MinGPUs(w, m)), paper[cfg.Name])
 	}
 	return t
+}
+
+// normalizePrecision applies the paper's default (bf16 mixed
+// precision) to a zero-valued Precision, so existing callers keep the
+// published tables while cmd/perfsim and cmd/repro can thread
+// -precision fp32 through for the what-if sweep.
+func normalizePrecision(p perfmodel.Precision) perfmodel.Precision {
+	if p == (perfmodel.Precision{}) {
+		return perfmodel.MixedPrecision()
+	}
+	return p
+}
+
+// precisionName labels a numeric profile in table titles.
+func precisionName(p perfmodel.Precision) string {
+	switch p {
+	case perfmodel.MixedPrecision():
+		return "bf16"
+	case perfmodel.FP32Precision():
+		return "fp32"
+	default:
+		return fmt.Sprintf("%.0fB/elem", p.ComputeBytes)
+	}
 }

@@ -90,12 +90,11 @@ func Simulate(w perfmodel.Workload, m hw.Machine, nodes int, plan Plan) (Result,
 	l := len(units)
 	eff := m.EffectiveFLOPS()
 	// FSDP reduces gradients in the compute dtype (bf16); DDP keeps
-	// fp32 gradient buckets — one of the implementation differences the
-	// paper alludes to when DDP falls behind FSDP at larger models.
-	cBytes := w.Prec.ComputeBytes
-	if plan.Strategy == DDP && cBytes < 4 {
-		cBytes = 4
-	}
+	// master-width (fp32) gradient buckets — one of the implementation
+	// differences the paper alludes to when DDP falls behind FSDP at
+	// larger models. The width comes from the workload's Precision, not
+	// a hard-coded element size.
+	cBytes := w.Prec.GradReduceBytes(plan.Strategy == DDP)
 
 	straggle := 1.0
 	if nodes > 1 {

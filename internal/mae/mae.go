@@ -321,6 +321,47 @@ func (m *Model) BackwardStep() {
 	m.backward(m.batch)
 }
 
+// BackwardSegments returns the model's parameters grouped into the
+// gradient-completion units of the layer-granular backward pass, in
+// completion order: when BackwardStepLayers invokes its callback with
+// index k, every parameter of segment k (and of all earlier segments)
+// has final accumulated gradients and is never touched again this
+// step.
+//
+// Because parameters pack in forward order (Params) and backward
+// finalizes them in exact reverse order, the segments tile the flat
+// parameter space contiguously from the top down — segment k covers
+// the flat range immediately below segment k−1 — which is what lets a
+// distributed executor map completion events onto flat gradient
+// buckets and launch each bucket's collective as soon as its range is
+// final (the executed form of FSDP's per-unit overlapped
+// reduce-scatter).
+func (m *Model) BackwardSegments() [][]*nn.Param {
+	segs := [][]*nn.Param{m.Pred.Params(), m.DecNorm.Params()}
+	for i := len(m.DecBlocks) - 1; i >= 0; i-- {
+		segs = append(segs, m.DecBlocks[i].Params())
+	}
+	// The mask-token gradient finishes accumulating in the decoder
+	// input split, just before DecEmbed's backward — one completion
+	// unit covering the contiguous [DecEmbed, MaskToken] flat range.
+	proj := append([]*nn.Param{}, m.DecEmbed.Params()...)
+	segs = append(segs, append(proj, m.MaskToken))
+	segs = append(segs, m.Encoder.Norm.Params())
+	for i := len(m.Encoder.Blocks) - 1; i >= 0; i-- {
+		segs = append(segs, m.Encoder.Blocks[i].Params())
+	}
+	return append(segs, m.Embed.Params())
+}
+
+// BackwardStepLayers is BackwardStep at layer granularity: onSegment
+// (if non-nil) runs after each BackwardSegments unit's gradients
+// become final, with the unit's index. BackwardStep delegates here
+// with a nil callback, so overlapped and synchronous schedules run
+// identical arithmetic.
+func (m *Model) BackwardStepLayers(onSegment func(k int)) {
+	m.backwardLayers(m.batch, onSegment)
+}
+
 func (m *Model) forward(imgs []float32, batch int) float64 {
 	cfg := m.Cfg
 	enc := cfg.Encoder
@@ -393,6 +434,20 @@ func (m *Model) forward(imgs []float32, batch int) float64 {
 }
 
 func (m *Model) backward(batch int) {
+	m.backwardLayers(batch, nil)
+}
+
+// backwardLayers is the single backward implementation, emitting a
+// completion event per BackwardSegments unit (events are counted even
+// with a nil callback so segment indices stay aligned).
+func (m *Model) backwardLayers(batch int, onSegment func(k int)) {
+	seg := 0
+	emit := func() {
+		if onSegment != nil {
+			onSegment(seg)
+		}
+		seg++
+	}
 	cfg := m.Cfg
 	enc := cfg.Encoder
 	t := enc.Tokens()
@@ -409,9 +464,12 @@ func (m *Model) backward(batch int) {
 	}
 
 	d := m.Pred.Backward(full)
+	emit()
 	d = m.DecNorm.Backward(d)
+	emit()
 	for i := len(m.DecBlocks) - 1; i >= 0; i-- {
 		d = m.DecBlocks[i].Backward(d)
+		emit()
 	}
 
 	// d now holds the gradient w.r.t. the decoder input sequence.
@@ -439,7 +497,8 @@ func (m *Model) backward(batch int) {
 	}
 
 	dEnc := m.DecEmbed.Backward(m.dVisible)
-	dVis := m.Encoder.Backward(dEnc)
+	emit() // DecEmbed + MaskToken (accumulated in the split above)
+	dVis := m.Encoder.BackwardLayers(dEnc, emit)
 
 	// Scatter visible-token gradients back into the full embedding grid
 	// (masked positions receive zero) and finish with the patch embed.
@@ -451,6 +510,7 @@ func (m *Model) backward(batch int) {
 		tensor.ScatterRowsAdd(m.dEmbed[b*t*w:], dVis[b*keep*w:], m.keepIdx[b], w)
 	}
 	m.Embed.Backward(m.dEmbed)
+	emit()
 }
 
 // Features extracts frozen downstream features: all patches are

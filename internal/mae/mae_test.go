@@ -338,3 +338,114 @@ func TestDrawMasksTracksStep(t *testing.T) {
 		// never runs forward.
 	}
 }
+
+// TestBackwardSegmentsTileFlatSpace pins the layer-granular backward
+// contract the overlapped executor builds on: BackwardSegments covers
+// every trainable parameter exactly once, and in completion order the
+// segments tile the flat packed parameter space contiguously from the
+// top down (segment k sits immediately below segment k−1).
+func TestBackwardSegmentsTileFlatSpace(t *testing.T) {
+	m := New(tinyCfg(), rng.New(1))
+	params := m.Params()
+	offs := make(map[*nn.Param]int, len(params))
+	dim := 0
+	for _, p := range params {
+		offs[p] = dim
+		dim += p.NumEl()
+	}
+	cursor := dim
+	for k, seg := range m.BackwardSegments() {
+		if len(seg) == 0 {
+			t.Fatalf("segment %d empty", k)
+		}
+		lo, total := cursor, 0
+		for _, p := range seg {
+			off, ok := offs[p]
+			if !ok {
+				t.Fatalf("segment %d holds a parameter (%s) outside Params, or a duplicate", k, p.Name)
+			}
+			delete(offs, p)
+			if off < lo {
+				lo = off
+			}
+			total += p.NumEl()
+		}
+		if lo+total != cursor {
+			t.Fatalf("segment %d covers [%d, %d+%d), want it to end at the previous frontier %d",
+				k, lo, lo, total, cursor)
+		}
+		cursor = lo
+	}
+	if cursor != 0 {
+		t.Fatalf("segments stop at flat offset %d, want 0", cursor)
+	}
+	if len(offs) != 0 {
+		t.Fatalf("%d parameters not covered by any segment", len(offs))
+	}
+}
+
+// TestBackwardStepLayersMatchesBackwardStep: the callback-granular
+// backward must accumulate bit-identical gradients to the monolithic
+// one, emit one event per segment in order, and each event's segment
+// gradients must already be final at emission time.
+func TestBackwardStepLayersMatchesBackwardStep(t *testing.T) {
+	cfg := tinyCfg()
+	imgs := make([]float32, 4*cfg.Encoder.ImageSize*cfg.Encoder.ImageSize*cfg.Encoder.Channels)
+	rng.New(9).FillNormal(imgs, 0, 1)
+
+	run := func(layered bool) ([]float32, int) {
+		m := New(cfg, rng.New(1))
+		params := m.Params()
+		nn.ZeroGrads(params)
+		keep := m.DrawMasks(4)
+		m.ForwardWithMask(imgs, 4, keep)
+		events := 0
+		if layered {
+			segs := m.BackwardSegments()
+			snapshots := make([][]float32, len(segs))
+			m.BackwardStepLayers(func(k int) {
+				if k != events {
+					t.Fatalf("segment %d emitted out of order (expected %d)", k, events)
+				}
+				// Snapshot this segment's gradients at emission.
+				var snap []float32
+				for _, p := range segs[k] {
+					snap = append(snap, p.Grad.Data...)
+				}
+				snapshots[k] = snap
+				events++
+			})
+			// Final check: emission-time gradients were already final.
+			for k, seg := range segs {
+				var now []float32
+				for _, p := range seg {
+					now = append(now, p.Grad.Data...)
+				}
+				for i := range now {
+					if math.Float32bits(now[i]) != math.Float32bits(snapshots[k][i]) {
+						t.Fatalf("segment %d gradient changed after its completion event", k)
+					}
+				}
+			}
+		} else {
+			m.BackwardStep()
+		}
+		var flat []float32
+		for _, p := range params {
+			flat = append(flat, p.Grad.Data...)
+		}
+		return flat, events
+	}
+
+	ref, _ := run(false)
+	got, events := run(true)
+	m := New(cfg, rng.New(1))
+	if want := len(m.BackwardSegments()); events != want {
+		t.Fatalf("emitted %d events, want %d", events, want)
+	}
+	for i := range ref {
+		if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+			t.Fatalf("layered backward gradient differs at flat element %d", i)
+		}
+	}
+}

@@ -105,12 +105,109 @@ func ScrubOutside(buf []float32, lo, hi int) {
 	clear(buf[hi:])
 }
 
+// Span is one contiguous flat range [Lo, Hi). Bucket-granular
+// gradient synchronization (train.PretrainDistributed with gradient
+// buckets) shards each bucket independently, so a rank's ownership is
+// a list of spans — chunk i of every bucket — rather than one
+// contiguous range; the helpers below and ShardedAdamW operate on such
+// lists. A single-span list reproduces the contiguous layout exactly.
+type Span struct{ Lo, Hi int }
+
+// Len returns the span's element count.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// SpansLen sums the element counts of spans.
+func SpansLen(spans []Span) int {
+	n := 0
+	for _, s := range spans {
+		n += s.Len()
+	}
+	return n
+}
+
+func checkSpans(spans []Span, limit int) {
+	prev := 0
+	for _, s := range spans {
+		if s.Lo < prev || s.Hi < s.Lo || s.Hi > limit {
+			panic(fmt.Sprintf("opt: spans %v not ascending and disjoint within [0, %d)", spans, limit))
+		}
+		prev = s.Hi
+	}
+}
+
+// ScrubOutsideSpans zeroes buf everywhere outside the given spans
+// (ascending, disjoint) — ScrubOutside generalized to bucket-granular
+// ownership.
+func ScrubOutsideSpans(buf []float32, spans []Span) {
+	checkSpans(spans, len(buf))
+	at := 0
+	for _, s := range spans {
+		clear(buf[at:s.Lo])
+		at = s.Hi
+	}
+	clear(buf[at:])
+}
+
+// GatherSpans copies the spans of src, in order, into the contiguous
+// dst (len(dst) must equal SpansLen) — how a rank assembles its
+// shard-local gradient/weight buffer from the per-bucket chunks it
+// owns in the flat space.
+func GatherSpans(dst, src []float32, spans []Span) {
+	checkSpans(spans, len(src))
+	at := 0
+	for _, s := range spans {
+		at += copy(dst[at:], src[s.Lo:s.Hi])
+	}
+	if at != len(dst) {
+		panic(fmt.Sprintf("opt: gathered %d elements into a buffer of %d", at, len(dst)))
+	}
+}
+
+// ScatterSpans is GatherSpans' inverse: the contiguous src is copied
+// back out into the spans of dst.
+func ScatterSpans(dst, src []float32, spans []Span) {
+	checkSpans(spans, len(dst))
+	at := 0
+	for _, s := range spans {
+		at += copy(dst[s.Lo:s.Hi], src[at:])
+	}
+	if at != len(src) {
+		panic(fmt.Sprintf("opt: scattered %d elements from a buffer of %d", at, len(src)))
+	}
+}
+
 // PackGrads copies every parameter's gradient into dst in parameter
 // order. len(dst) must be at least FlatDim; elements beyond the packed
 // region are left untouched (a padded tail stays zero if it started
 // zero, which keeps ring reductions over the pad exact).
 func PackGrads(dst []float32, params []*nn.Param) {
 	packTensors(dst, params, func(p *nn.Param) []float32 { return p.Grad.Data })
+}
+
+// PackGradsSpan packs only the flat range [lo, hi) of the gradient
+// into the same range of dst (a full-size flat buffer), leaving the
+// rest of dst untouched — how the overlapped executor packs one
+// gradient bucket the moment backward finalizes it, without touching
+// ranges whose gradients are still accumulating. Ranges extending past
+// FlatDim cover pad elements, which are never written (they stay
+// zero).
+func PackGradsSpan(dst []float32, params []*nn.Param, lo, hi int) {
+	if lo < 0 || hi < lo || hi > len(dst) {
+		panic(fmt.Sprintf("opt: pack span [%d, %d) of %d", lo, hi, len(dst)))
+	}
+	off := 0
+	for _, p := range params {
+		d := p.Grad.Data
+		if off >= hi {
+			break
+		}
+		if off+len(d) > lo {
+			s := max(off, lo)
+			e := min(off+len(d), hi)
+			copy(dst[s:e], d[s-off:e-off])
+		}
+		off += len(d)
+	}
 }
 
 // UnpackGrads copies the packed flat gradient back into every
@@ -168,10 +265,16 @@ type ShardedAdamW struct {
 	Eps          float64
 	WeightDecay  float64
 
-	// Lo and Hi bound the shard in flat coordinates. Hi may extend past
-	// FlatDim into padding; pad elements carry a zero decay mask and
-	// zero gradients, so they stay zero.
+	// Lo and Hi bound the shard in flat coordinates (for bucket-
+	// granular ownership they bound the union of the spans). Hi may
+	// extend past FlatDim into padding; pad elements carry a zero decay
+	// mask and zero gradients, so they stay zero.
 	Lo, Hi int
+
+	// spans is the owned flat ranges in ascending order; the moment and
+	// decay buffers are their concatenation (shard-local coordinates).
+	spans []Span
+	n     int
 
 	m, v  []float32
 	decay []float32 // 1 where decoupled weight decay applies, else 0
@@ -185,28 +288,53 @@ func NewShardedAdamW(params []*nn.Param, weightDecay float64, lo, hi int) *Shard
 	if lo < 0 || hi < lo {
 		panic(fmt.Sprintf("opt: sharded adamw range [%d, %d)", lo, hi))
 	}
+	return NewShardedAdamWSpans(params, weightDecay, []Span{{lo, hi}})
+}
+
+// NewShardedAdamWSpans constructs the shard optimizer for the given
+// owned flat spans (ascending, disjoint) — the bucket-granular
+// ownership of the overlapped executor, where a rank holds chunk i of
+// every gradient bucket. Moments and the weight-decay mask live in
+// shard-local coordinates: the concatenation of the spans in order,
+// exactly the layout GatherSpans produces.
+func NewShardedAdamWSpans(params []*nn.Param, weightDecay float64, spans []Span) *ShardedAdamW {
+	if len(spans) == 0 {
+		panic("opt: sharded adamw with no spans")
+	}
+	total := SpansLen(spans)
 	a := &ShardedAdamW{
 		Beta1: adamwBeta1, Beta2: adamwBeta2, Eps: adamwEps,
 		WeightDecay: weightDecay,
-		Lo:          lo, Hi: hi,
-		m:     make([]float32, hi-lo),
-		v:     make([]float32, hi-lo),
-		decay: make([]float32, hi-lo),
+		Lo:          spans[0].Lo, Hi: spans[len(spans)-1].Hi,
+		spans: append([]Span(nil), spans...),
+		n:     total,
+		m:     make([]float32, total),
+		v:     make([]float32, total),
+		decay: make([]float32, total),
 	}
+	checkSpans(a.spans, a.Hi)
 	off := 0
 	for _, p := range params {
 		n := p.NumEl()
 		if !p.NoWeightDecay {
-			// Mark the overlap of [off, off+n) with [lo, hi).
-			s, e := max(off, lo), min(off+n, hi)
-			for i := s; i < e; i++ {
-				a.decay[i-lo] = 1
+			local := 0
+			for _, sp := range a.spans {
+				// Mark the overlap of [off, off+n) with the span, in
+				// shard-local coordinates.
+				s, e := max(off, sp.Lo), min(off+n, sp.Hi)
+				for i := s; i < e; i++ {
+					a.decay[local+i-sp.Lo] = 1
+				}
+				local += sp.Len()
 			}
 		}
 		off += n
 	}
 	return a
 }
+
+// Spans returns the owned flat ranges in ascending order.
+func (a *ShardedAdamW) Spans() []Span { return append([]Span(nil), a.spans...) }
 
 // StepCount returns how many updates have been applied.
 func (a *ShardedAdamW) StepCount() int { return a.t }
@@ -230,12 +358,14 @@ func (a *ShardedAdamW) RestoreMoments(srcM, srcV []float32) {
 	copy(a.v, srcV)
 }
 
-// Step applies one AdamW update to the shard: w and g are the [Lo, Hi)
-// slices of the flat weight and (already averaged) flat gradient.
+// Step applies one AdamW update to the shard: w and g are the owned
+// slices of the flat weight and (already averaged) flat gradient in
+// shard-local order — the [Lo, Hi) views for a contiguous shard, or
+// the GatherSpans concatenations for bucket-granular ownership.
 func (a *ShardedAdamW) Step(lr float64, w, g []float32) {
-	if len(w) != a.Hi-a.Lo || len(g) != a.Hi-a.Lo {
+	if len(w) != a.n || len(g) != a.n {
 		panic(fmt.Sprintf("opt: sharded adamw got %d weights / %d grads for shard of %d",
-			len(w), len(g), a.Hi-a.Lo))
+			len(w), len(g), a.n))
 	}
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))

@@ -22,6 +22,12 @@ type IOModel struct {
 	ContentionPerDoubling float64
 }
 
+// rawPixelBytes is the on-disk element size of the pretraining corpus:
+// the source GeoTIFF bands decode to float32 before augmentation, so
+// the IO model charges 4 bytes per pixel per channel regardless of the
+// training Precision (the loader, not the GPU, pays this width).
+const rawPixelBytes = 4
+
 // DefaultIO is the Figure 1 configuration: 4 workers per GCD as in the
 // paper, 512×512×3 float32 images.
 func DefaultIO() IOModel {
@@ -29,7 +35,7 @@ func DefaultIO() IOModel {
 		WorkersPerGPU:         4,
 		GPUsPerNode:           8,
 		ImagesPerSecPerWorker: 2.4,
-		BytesPerImage:         512 * 512 * 3 * 4,
+		BytesPerImage:         512 * 512 * 3 * rawPixelBytes,
 		FSAggregateBW:         10e12,
 		ContentionPerDoubling: 0.015,
 	}

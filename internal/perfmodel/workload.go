@@ -23,11 +23,60 @@ type Precision struct {
 	// weights, gradients and optimizer state (sharded by FSDP).
 	// fp32 master (4) + fp32 Adam m,v (8) + bf16 working copy (2) = 14.
 	StateBytesPerParam float64
+	// MasterBytes is the master-weight/full-precision gradient element
+	// size. DDP is modeled reducing gradients at this width regardless
+	// of ComputeBytes (its buckets hold fp32 gradients — one of the
+	// implementation differences from FSDP the paper alludes to); ≤ 0
+	// defaults to 4. It exists so no simulated table hard-codes a
+	// 4-byte element size — the same width-parameterization
+	// fsdp.TrafficPerStep got for the executed bf16 wire.
+	MasterBytes float64
 }
 
 // MixedPrecision is the default training precision.
 func MixedPrecision() Precision {
-	return Precision{ComputeBytes: 2, StateBytesPerParam: 14}
+	return Precision{ComputeBytes: 2, StateBytesPerParam: 14, MasterBytes: 4}
+}
+
+// FP32Precision is the full-single-precision counterpart: fp32 math
+// and communication, fp32 master + Adam moments (12 resident bytes per
+// parameter, no separate working copy). The executed training loop's
+// FP32 mode corresponds to this profile.
+func FP32Precision() Precision {
+	return Precision{ComputeBytes: 4, StateBytesPerParam: 12, MasterBytes: 4}
+}
+
+// PrecisionByName resolves the CLI spellings of the numeric profiles
+// — "bf16" (the paper's AMP recipe) and "fp32" — failing fast on
+// anything else so a typo never silently regenerates tables under a
+// default profile. Shared by cmd/perfsim and cmd/repro.
+func PrecisionByName(name string) (Precision, error) {
+	switch name {
+	case "bf16":
+		return MixedPrecision(), nil
+	case "fp32":
+		return FP32Precision(), nil
+	default:
+		return Precision{}, fmt.Errorf("perfmodel: unknown precision %q (want bf16 | fp32)", name)
+	}
+}
+
+// masterBytes returns MasterBytes with the fp32 default applied.
+func (p Precision) masterBytes() float64 {
+	if p.MasterBytes <= 0 {
+		return 4
+	}
+	return p.MasterBytes
+}
+
+// GradReduceBytes returns the element width a strategy's gradient
+// reduction moves: ComputeBytes for the FSDP family, the full master
+// width for DDP's fp32 buckets.
+func (p Precision) GradReduceBytes(ddp bool) float64 {
+	if ddp && p.ComputeBytes < p.masterBytes() {
+		return p.masterBytes()
+	}
+	return p.ComputeBytes
 }
 
 // Workload describes one rank's per-step work.

@@ -113,6 +113,69 @@ func FromResult(r fsdp.Result, m hw.Machine, opts Options) Trace {
 	return tr
 }
 
+// ExecBreakdown decomposes an *executed* training run's wall-clock
+// into compute and exposed communication — the measured counterpart of
+// the simulator's Result.ComputeTime/ExposedComm split. Where
+// fsdp.Simulate predicts how much collective latency a schedule hides
+// behind backward compute, an ExecBreakdown reports how much a real
+// run (train.PretrainDistributed, which times every per-step
+// collective block and async-handle wait on rank 0) actually hid: with
+// overlap off ExposedCommSec approaches the full collective time, with
+// overlap on it shrinks toward the unhidable residual.
+type ExecBreakdown struct {
+	Label string
+	// Steps is the number of optimizer steps the run executed.
+	Steps int
+	// WallSec = ComputeSec + ExposedCommSec: rank 0's training-loop
+	// wall-clock, the time it spent blocked in collectives (exposed
+	// communication), and the remainder (compute + input pipeline).
+	WallSec, ComputeSec, ExposedCommSec float64
+}
+
+// NewExecBreakdown builds the decomposition from a run's wall-clock
+// and its exposed-communication time.
+func NewExecBreakdown(label string, steps int, wallSec, exposedSec float64) ExecBreakdown {
+	b := ExecBreakdown{Label: label, Steps: steps, WallSec: wallSec, ExposedCommSec: exposedSec}
+	b.ComputeSec = wallSec - exposedSec
+	if b.ComputeSec < 0 {
+		b.ComputeSec = 0
+	}
+	return b
+}
+
+// StepSec returns the mean wall-clock per optimizer step.
+func (b ExecBreakdown) StepSec() float64 {
+	if b.Steps == 0 {
+		return 0
+	}
+	return b.WallSec / float64(b.Steps)
+}
+
+// ExposedStepSec returns the mean exposed-communication time per
+// optimizer step — the executed analog of Result.ExposedComm.
+func (b ExecBreakdown) ExposedStepSec() float64 {
+	if b.Steps == 0 {
+		return 0
+	}
+	return b.ExposedCommSec / float64(b.Steps)
+}
+
+// ExposedFrac returns the fraction of wall-clock spent in exposed
+// communication.
+func (b ExecBreakdown) ExposedFrac() float64 {
+	if b.WallSec <= 0 {
+		return 0
+	}
+	return b.ExposedCommSec / b.WallSec
+}
+
+// String renders the one-line report the training CLI prints.
+func (b ExecBreakdown) String() string {
+	return fmt.Sprintf("%s: %.1f ms/step (compute %.1f ms, exposed comm %.1f ms, %.0f%% exposed)",
+		b.Label, 1e3*b.StepSec(), 1e3*b.ComputeSec/max(float64(b.Steps), 1),
+		1e3*b.ExposedStepSec(), 100*b.ExposedFrac())
+}
+
 // MeanPower returns the trace's average power draw.
 func (t Trace) MeanPower() float64 {
 	if len(t.Samples) == 0 {

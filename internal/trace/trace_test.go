@@ -101,3 +101,49 @@ func TestOptionDefaultsApplied(t *testing.T) {
 		t.Fatalf("default window gave %d samples", len(tr.Samples))
 	}
 }
+
+// TestExecBreakdown pins the executed step-time decomposition: wall
+// splits into compute + exposed comm, per-step means and the exposed
+// fraction follow, and a negative residual clamps instead of going
+// nonsensical.
+func TestExecBreakdown(t *testing.T) {
+	b := NewExecBreakdown("ddp/8", 4, 2.0, 0.5)
+	if b.ComputeSec != 1.5 {
+		t.Fatalf("compute %v, want 1.5", b.ComputeSec)
+	}
+	if got := b.StepSec(); got != 0.5 {
+		t.Fatalf("step time %v, want 0.5", got)
+	}
+	if got := b.ExposedStepSec(); got != 0.125 {
+		t.Fatalf("exposed/step %v, want 0.125", got)
+	}
+	if got := b.ExposedFrac(); got != 0.25 {
+		t.Fatalf("exposed frac %v, want 0.25", got)
+	}
+	if s := b.String(); !strings.Contains(s, "ddp/8") || !strings.Contains(s, "exposed") {
+		t.Fatalf("report %q missing label or decomposition", s)
+	}
+	// Degenerate inputs stay finite and clamped.
+	z := NewExecBreakdown("z", 0, 0, 1)
+	if z.ComputeSec != 0 || z.StepSec() != 0 || z.ExposedFrac() != 0 {
+		t.Fatalf("degenerate breakdown not clamped: %+v", z)
+	}
+}
+
+// TestExecBreakdownMirrorsSimulator: the executed decomposition's
+// invariant matches the simulator's — exposed communication never
+// exceeds the wall, and hiding communication shrinks the exposed
+// fraction at constant traffic, which is the comparison bench-dist
+// records for overlap on/off.
+func TestExecBreakdownMirrorsSimulator(t *testing.T) {
+	sync := NewExecBreakdown("overlap=off", 10, 3.0, 1.2)
+	over := NewExecBreakdown("overlap=on", 10, 2.1, 0.3)
+	if !(over.ExposedFrac() < sync.ExposedFrac()) {
+		t.Fatal("overlapped breakdown does not show a lower exposed fraction")
+	}
+	for _, b := range []ExecBreakdown{sync, over} {
+		if b.ExposedCommSec > b.WallSec {
+			t.Fatalf("%s: exposed %v exceeds wall %v", b.Label, b.ExposedCommSec, b.WallSec)
+		}
+	}
+}

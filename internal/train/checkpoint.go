@@ -80,6 +80,14 @@ type TrainState struct {
 	// carries no loss-scale schedule, so resuming it under BF16 (or
 	// vice versa) would silently train a different trajectory.
 	Precision Precision
+	// AccumSteps is the gradient-accumulation window the state was
+	// captured under (0 is read as 1, so states from before
+	// accumulation existed resume as unaccumulated runs). A resume
+	// validates it against the configuration: Step counts optimizer
+	// steps, so the mask/sample fast-forward consumes Step×AccumSteps
+	// micro-batches — a mismatched window would silently resume on a
+	// misaligned mask stream.
+	AccumSteps int
 	// Master holds the fp32 master weights (for FP32 runs, simply the
 	// parameters). OptM/OptV are the Adam moments; OptStep the shared
 	// bias-correction counter.

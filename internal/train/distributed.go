@@ -17,6 +17,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // DistConfig configures real multi-rank pretraining over internal/dist.
@@ -50,9 +51,45 @@ type DistConfig struct {
 	// payloads (half the wire bytes) over fp32 master weights and Adam
 	// state, with dynamic loss scaling.
 	Precision Precision
+	// Overlap launches each gradient bucket's collective the moment the
+	// layer-granular backward finalizes its range, on internal/dist's
+	// async issue queues, and waits on all handles only before
+	// clipping/optimizer — the executed form of FSDP hiding collective
+	// latency behind backward compute. Overlap on and off run the
+	// identical operations in the identical issue order, so they are
+	// bit-for-bit the same trajectory with the same wire bytes; only
+	// the wall-clock decomposition (ComputeSec vs ExposedCommSec)
+	// changes.
+	Overlap bool
+	// AccumSteps enables micro-batch gradient accumulation: each
+	// optimizer step runs AccumSteps forward/backward micro-steps of
+	// BatchSize global samples each, accumulating gradients locally,
+	// and fires the gradient collectives, loss-scale bookkeeping and
+	// optimizer exactly once per window — so the effective global batch
+	// is BatchSize·AccumSteps at unchanged per-step wire traffic.
+	// Under FULL_SHARD/HYBRID the parameter reshard + backward
+	// re-gather also runs once per window (on its final micro-step),
+	// keeping measured bytes equal to fsdp.TrafficPerStep per optimizer
+	// step. 0 or 1 disables accumulation.
+	AccumSteps int
+	// BucketBytes sets the gradient bucket size (wire bytes) for every
+	// strategy, enabling multi-bucket overlap for the sharded
+	// schedules: each bucket is reduce-scattered independently, and a
+	// rank's optimizer shard becomes its chunk of every bucket (the
+	// same total volume as the contiguous layout). 0 keeps the default
+	// — DDP buckets by Plan.DDPBucketBytes, the sharded strategies use
+	// one whole-buffer bucket.
+	BucketBytes int
+	// Throttle > 0 realizes each collective's α–β modeled time as an
+	// executed delay (dist.Options.Throttle): the congested-link mode
+	// under which overlap's hidden latency becomes measurable in
+	// ExposedCommSec and the bench-dist records.
+	Throttle float64
 	// LossScale tunes the BF16 dynamic loss scaler; zero fields take
 	// the opt package defaults (2¹⁶ initial, ×2 growth, ×0.5 backoff,
-	// growth interval 2000).
+	// growth interval 2000). Under AccumSteps the scaler's overflow
+	// verdict and growth/backoff apply once per optimizer step — over
+	// the whole accumulation window — never per micro-step.
 	LossScale LossScaleConfig
 	// Resume restores the training state captured by a previous run
 	// (DistResult.State, possibly round-tripped through
@@ -100,9 +137,19 @@ type DistResult struct {
 	Comm dist.Stats
 	// Traffic is fsdp.TrafficPerStep for this plan/world/model at this
 	// precision's wire width — the per-step wire bytes the Section IV
-	// simulator charges. The executed byte counters in Comm match it
-	// exactly: Comm.<op>.MeasuredWireBytes == Traffic.<op>Bytes × Steps.
+	// simulator charges *per optimizer step* (gradient accumulation
+	// does not change it: collectives fire once per window). The
+	// executed byte counters in Comm match it exactly:
+	// Comm.<op>.MeasuredWireBytes == Traffic.<op>Bytes × Steps.
 	Traffic fsdp.Traffic
+	// WallSec is rank 0's wall-clock inside the training loop;
+	// ExposedCommSec is the part it spent blocked in per-step
+	// collectives or waiting on their async handles — communication
+	// not hidden behind compute — and ComputeSec is the remainder
+	// (forward/backward/optimizer plus the input pipeline). This is
+	// the executed counterpart of the fsdp simulator's
+	// ComputeTime/ExposedComm decomposition; see DistResult.Breakdown.
+	WallSec, ComputeSec, ExposedCommSec float64
 	// FinalLossScale, ScaleBackoffs and SkippedSteps report the BF16
 	// dynamic loss scaler: the scale after the last step, how many
 	// times it backed off, and how many optimizer steps were skipped on
@@ -118,6 +165,13 @@ type DistResult struct {
 	// replicas holds every rank's model so tests can assert the ranks
 	// stayed bit-identical.
 	replicas []*mae.Model
+}
+
+// Breakdown summarizes the executed wall-clock decomposition as a
+// trace.ExecBreakdown — the measured row next to the simulator's
+// Result.ComputeTime/ExposedComm columns.
+func (r *DistResult) Breakdown(label string) trace.ExecBreakdown {
+	return trace.NewExecBreakdown(label, r.Steps, r.WallSec, r.ExposedCommSec)
 }
 
 // execMode is the synchronization schedule a plan compiles to.
@@ -176,6 +230,15 @@ func compilePlan(plan fsdp.Plan, ranks int) (execMode, int, error) {
 // bytes, still equal to the simulator's dtype-aware accounting), AdamW
 // updates fp32 master weights, and a dynamic loss scaler skips steps
 // whose scaled gradients overflow.
+//
+// Under Overlap each gradient bucket's collective launches the moment
+// the layer-granular backward (mae.BackwardStepLayers) finalizes its
+// flat range, and the loop waits on every handle only before
+// clipping/optimizer; under AccumSteps N micro-batches accumulate into
+// one optimizer step with collectives firing once per window. Both are
+// bitwise-neutral: overlap on/off and any bucket split train identical
+// trajectories, and measured wire bytes stay exactly equal to
+// fsdp.TrafficPerStep per optimizer step.
 func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, error) {
 	if err := cfg.MAE.Validate(); err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -191,6 +254,13 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	}
 	if !cfg.Precision.valid() {
 		return nil, fmt.Errorf("train: unknown precision %v", cfg.Precision)
+	}
+	if cfg.AccumSteps < 0 || cfg.BucketBytes < 0 || cfg.Throttle < 0 {
+		return nil, fmt.Errorf("train: negative AccumSteps, BucketBytes or Throttle")
+	}
+	accum := cfg.AccumSteps
+	if accum < 1 {
+		accum = 1
 	}
 	plan := cfg.Plan
 	if plan == (fsdp.Plan{}) {
@@ -209,12 +279,12 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 
 	n := cfg.Ranks
 	local := cfg.BatchSize / n
-	stepsPerEpoch := ds.TrainCount / cfg.BatchSize
+	stepsPerEpoch := ds.TrainCount / (cfg.BatchSize * accum)
 	if cfg.MaxStepsPerEpoch > 0 && stepsPerEpoch > cfg.MaxStepsPerEpoch {
 		stepsPerEpoch = cfg.MaxStepsPerEpoch
 	}
 	if stepsPerEpoch == 0 {
-		return nil, fmt.Errorf("train: dataset smaller than one global batch")
+		return nil, fmt.Errorf("train: dataset smaller than one optimizer step's accumulation window")
 	}
 	resume := cfg.Resume
 	startEpoch := 0
@@ -230,6 +300,10 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 			return nil, fmt.Errorf("train: resume state captured under %v, configuration is %v",
 				resume.Precision, cfg.Precision)
 		}
+		if stAccum := max(resume.AccumSteps, 1); stAccum != accum {
+			return nil, fmt.Errorf("train: resume state captured with AccumSteps %d, configuration has %d",
+				stAccum, accum)
+		}
 		startEpoch = resume.Epoch
 	}
 	lastEpoch := cfg.Epochs
@@ -241,13 +315,13 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	}
 	bf16 := cfg.Precision == BF16
 	sched := opt.CosineSchedule{
-		Base:        opt.ScaledLR(cfg.BaseLR, cfg.BatchSize),
+		Base:        opt.ScaledLR(cfg.BaseLR, cfg.BatchSize*accum),
 		MinLR:       0,
 		WarmupSteps: cfg.WarmupEpochs * stepsPerEpoch,
 		TotalSteps:  cfg.Epochs * stepsPerEpoch,
 	}
 
-	world := dist.New(n, dist.Options{Link: cfg.Link})
+	world := dist.New(n, dist.Options{Link: cfg.Link, Throttle: cfg.Throttle})
 	res := &DistResult{Ranks: n, Precision: cfg.Precision}
 	res.LossCurve.Name = cfg.MAE.Encoder.Name + " pretrain loss"
 	res.EpochLoss.Name = cfg.MAE.Encoder.Name + " epoch loss"
@@ -257,6 +331,11 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	// known; ranks write their disjoint master/moment shards into it.
 	st := &TrainState{}
 	var stOnce sync.Once
+
+	allRanks := make([]int, n)
+	for i := range allRanks {
+		allRanks[i] = i
+	}
 
 	start := time.Now()
 	err = world.Run(func(r *dist.Rank) error {
@@ -283,15 +362,14 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		// the shard group, aligned so HYBRID's replica-group ring over
 		// one shard also chunks uniformly.
 		var (
-			shardGroup *dist.Group // FULL_SHARD collectives (sharded modes)
-			replGroup  *dist.Group // HYBRID gradient all-reduce across shard groups
-			part       opt.Partition
-			lo, hi     int
+			gradGroup *dist.Group // gradient-bucket collectives (world for replicated, shard group otherwise)
+			replGroup *dist.Group // HYBRID gradient all-reduce across shard groups
+			part      opt.Partition
 		)
 		switch mode {
 		case execReplicated:
 			part = opt.NewPartition(dim, 1, n)
-			lo, hi = 0, part.Padded // the degenerate "shard" is everything
+			gradGroup = world.Subgroup(allRanks)
 		default:
 			repl := n / group
 			part = opt.NewPartition(dim, group, group*repl)
@@ -302,8 +380,7 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 			for i := range members {
 				members[i] = first + i
 			}
-			shardGroup = world.Subgroup(members)
-			lo, hi = part.Range(r.ID() - first)
+			gradGroup = world.Subgroup(members)
 			if mode == execResharded && repl > 1 {
 				peers := make([]int, repl)
 				for i := range peers {
@@ -324,22 +401,50 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		} else {
 			// Every rank restores the identical fp32 master snapshot
 			// and fast-forwards the deterministic mask stream past the
-			// completed steps — no broadcast needed.
+			// completed steps (micro-batches under accumulation) — no
+			// broadcast needed.
 			opt.UnpackValues(params, resume.Master)
-			model.SkipMasks(resume.Step, cfg.BatchSize)
+			model.SkipMasks(resume.Step*accum, cfg.BatchSize)
 		}
 
 		flatG := make([]float32, padded)
+		var wire []uint16
+		if bf16 {
+			wire = make([]uint16, padded)
+		}
+		// Rank 0 decomposes its loop wall-clock into compute vs exposed
+		// communication; the other ranks carry a nil timer.
+		var timer *phaseTimer
+		if r.ID() == 0 {
+			timer = &phaseTimer{}
+		}
+		eng, err := newSyncEngine(r, model, params, mode, bf16, cfg.Overlap,
+			gradGroup, replGroup, group, flatG, wire, timer,
+			bucketElemsFor(cfg.BucketBytes, plan.DDPBucketBytes,
+				plan.Strategy == fsdp.DDP, cfg.Precision.WireBytes(), n, padded))
+		if err != nil {
+			return err
+		}
+		// ownSpans is what this rank's optimizer/checkpoint state
+		// covers: its chunk of every bucket (sharded modes), or the
+		// whole padded space (replicated BF16's full-range master).
+		ownSpans := eng.spans
+		ownLen := eng.shardLen
+		if mode == execReplicated {
+			ownSpans = []opt.Span{{Lo: 0, Hi: padded}}
+			ownLen = padded
+		}
+
 		var (
 			optim    *opt.AdamW        // FP32 replicated
 			shardOpt *opt.ShardedAdamW // everything else
 			flatW    []float32         // assembled working copy (sharded and BF16 modes)
-			master   []float32         // BF16: fp32 master for [lo, hi), indexed from lo
-			wire     []uint16          // BF16 wire scratch
+			master   []float32         // BF16: fp32 master for the owned spans (shard-local)
+			gBuf     []float32         // sharded: contiguous reduced-gradient shard
+			wBuf     []float32         // sharded FP32: contiguous weight shard scratch
 			scaler   *opt.LossScaler
 		)
 		if bf16 {
-			wire = make([]uint16, padded)
 			scaler = opt.NewLossScaler(cfg.LossScale.Init, cfg.LossScale.Growth,
 				cfg.LossScale.Backoff, cfg.LossScale.Interval)
 			if resume != nil {
@@ -362,40 +467,31 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		default:
 			flatW = make([]float32, padded)
 			opt.PackValues(flatW, params)
-			shardOpt = opt.NewShardedAdamW(params, cfg.WeightDecay, lo, hi)
+			shardOpt = opt.NewShardedAdamWSpans(params, cfg.WeightDecay, ownSpans)
+			gBuf = make([]float32, ownLen)
+			wBuf = make([]float32, ownLen)
 			if bf16 {
-				// The rank's fp32 master is its own shard; the whole
-				// working copy (own shard included) is bf16-valued so
+				// The rank's fp32 master is its owned spans; the whole
+				// working copy (own spans included) is bf16-valued so
 				// every rank computes on identical weights.
-				master = make([]float32, hi-lo)
-				copy(master, flatW[lo:hi])
+				master = make([]float32, ownLen)
+				opt.GatherSpans(master, flatW, ownSpans)
 				tensor.RoundBF16(flatW, flatW)
 				opt.UnpackValues(params, flatW)
 			}
 		}
 		if resume != nil && shardOpt != nil {
-			// RestoreMoments copies through min-length copy(), so the
-			// unpadded state restores directly; the pad tail of the
-			// freshly allocated moments stays zero.
-			if end := min(hi, dim); lo < end {
-				shardOpt.RestoreMoments(resume.OptM[lo:end], resume.OptV[lo:end])
-			}
+			// The unpadded checkpoint moments restore clipped at dim;
+			// the pad tail of the freshly allocated moments stays zero.
+			mLoc := make([]float32, ownLen)
+			vLoc := make([]float32, ownLen)
+			gatherSpansClipped(mLoc, resume.OptM, ownSpans, dim)
+			gatherSpansClipped(vLoc, resume.OptV, ownSpans, dim)
+			shardOpt.RestoreMoments(mLoc, vLoc)
 			shardOpt.SetStep(resume.OptStep)
 		} else if resume != nil {
 			optim.ImportMoments(resume.OptM, resume.OptV)
 			optim.SetStep(resume.OptStep)
-		}
-
-		// DDP buckets: fixed-size spans of the flat gradient, rounded
-		// to a multiple of the world size so ring chunks stay uniform.
-		// Bucket bytes are wire bytes, so bf16 buckets hold twice the
-		// elements for the same configured size.
-		bucketElems := padded
-		if plan.Strategy == fsdp.DDP && n > 1 {
-			bucketElems = int(plan.DDPBucketBytes) / cfg.Precision.WireBytes() / n * n
-			if bucketElems < n {
-				bucketElems = n
-			}
 		}
 
 		gen := ds.Gen
@@ -413,106 +509,167 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		loader.SkipEpochs(startEpoch)
 
 		invN := float32(1) / float32(n)
+		invAccum := float64(1) / float64(accum)
+		loopStart := time.Now()
 		step := startEpoch * stepsPerEpoch
 		for epoch := startEpoch; epoch < lastEpoch; epoch++ {
 			var epochLoss metrics.Meter
-			for batch := range loader.EpochN(stepsPerEpoch) {
+			micro := 0
+			var lossSum float64
+			for batch := range loader.EpochN(stepsPerEpoch * accum) {
 				// All ranks draw the global batch's masks from their
 				// lock-step streams and keep the local slice, so the
 				// mask sequence matches the single-rank run.
 				keep := model.DrawMasksRange(cfg.BatchSize, r.ID()*local, (r.ID()+1)*local)
-				nn.ZeroGrads(params)
-				var loss float64
-				if mode == execResharded {
-					loss = model.ForwardWithMask(batch.Images, batch.Size, keep)
-					// Reshard after forward: drop every parameter
-					// shard this rank does not own from the flat
-					// mirror, exactly as FULL_SHARD frees gathered
-					// units. Backward reads the live tensors from the
+				if micro == 0 {
+					nn.ZeroGrads(params)
+				}
+				final := micro == accum-1
+				lossSum += model.ForwardWithMask(batch.Images, batch.Size, keep)
+				switch {
+				case mode == execResharded && final:
+					// Reshard once per optimizer step, after the
+					// window's last forward: drop every parameter span
+					// this rank does not own from the flat mirror,
+					// exactly as FULL_SHARD frees gathered units.
+					// Backward reads the live tensors from the
 					// re-gathered mirror, so the all-gather must
-					// genuinely restore the dropped shards — if it
+					// genuinely restore the dropped spans — if it
 					// moved wrong bytes, the zeros would reach the
 					// model and the loss trajectory (checked against
 					// the single-rank run) would diverge.
-					opt.ScrubOutside(flatW, lo, hi)
-					if bf16 {
-						shardGroup.AllGatherBF16(r, flatW, nil, wire)
-					} else {
-						shardGroup.AllGather(r, flatW, nil)
-					}
+					opt.ScrubOutsideSpans(flatW, eng.spans)
+					eng.allGatherParams(flatW)
 					opt.UnpackValues(params, flatW)
+				}
+				if !final {
+					// Accumulation micro-step: gradients pile up in the
+					// parameter tensors; no collective fires and the
+					// sharded modes keep the assembled parameters
+					// resident (the executed no_sync window).
 					model.BackwardStep()
-				} else {
-					loss = model.StepWithMask(batch.Images, batch.Size, keep)
+					loader.Recycle(batch)
+					micro++
+					continue
 				}
 
-				// Local gradients are means over the local batch; the
-				// 1/n scale turns the cross-rank sum into the global
-				// mean the single-rank run computes. BF16 additionally
-				// multiplies in the loss scale before gradients hit the
-				// narrow wire.
-				opt.PackGrads(flatG, params)
-				lr := sched.LR(step)
+				// Final micro-step of the window: the layer-granular
+				// backward launches each bucket's collective the moment
+				// its accumulated gradients are final. The 1/(n·accum)
+				// scale turns the cross-rank sum of per-micro means
+				// into the global mean the single-rank run computes;
+				// BF16 additionally multiplies in the loss scale before
+				// gradients hit the narrow wire.
+				gScale := invN
+				if accum > 1 {
+					gScale *= 1 / float32(accum)
+				}
+				scaleGrads := n > 1 || accum > 1
+				var invScale float32
 				if bf16 {
-					tensor.Scale(flatG[:dim], flatG[:dim], float32(scaler.Scale)*invN)
-					stepBF16(r, bf16State{
-						scaler: scaler, clipNorm: cfg.ClipNorm, lr: lr, mode: mode,
-						bucketElems: bucketElems, flatG: flatG, flatW: flatW,
-						master: master, wire: wire, dim: dim, lo: lo, hi: hi,
-						shardGroup: shardGroup, replGroup: replGroup,
-						shardOpt: shardOpt, params: params,
-					})
-				} else if mode == execReplicated {
-					if n > 1 {
-						tensor.Scale(flatG[:dim], flatG[:dim], invN)
+					// The scale the gradients will carry; Update may
+					// move scaler.Scale before the unscale happens.
+					invScale = 1 / float32(scaler.Scale)
+					gScale = float32(scaler.Scale) * invN
+					if accum > 1 {
+						gScale *= 1 / float32(accum)
 					}
-					for off := 0; off < padded; off += bucketElems {
-						end := off + bucketElems
-						if end > padded {
-							end = padded
-						}
-						r.AllReduce(flatG[off:end])
-					}
+					scaleGrads = true
+				}
+				eng.beginStep(gScale, scaleGrads)
+				model.BackwardStepLayers(eng.onSegment)
+				loader.Recycle(batch)
+				eng.finishBackward()
+
+				lr := sched.LR(step)
+				switch {
+				case mode == execReplicated && !bf16:
 					opt.UnpackGrads(params, flatG)
 					if cfg.ClipNorm > 0 {
 						nn.ClipGradNorm(params, cfg.ClipNorm)
 					}
 					optim.Step(lr)
-				} else {
-					if n > 1 {
-						tensor.Scale(flatG[:dim], flatG[:dim], invN)
+				case mode == execReplicated && bf16:
+					// No collective needed for the verdict here: the
+					// bf16 all-reduce leaves every rank with
+					// bit-identical gradients, so the local check is
+					// already the global one.
+					if !scaler.Update(opt.HasNonFinite(flatG)) {
+						tensor.Scale(flatG, flatG, invScale)
+						if cfg.ClipNorm > 0 {
+							if norm := math.Sqrt(sumSq(flatG[:dim])); norm > cfg.ClipNorm && norm > 0 {
+								tensor.Scale(flatG, flatG, float32(cfg.ClipNorm/norm))
+							}
+						}
+						shardOpt.Step(lr, master, flatG)
+						tensor.RoundBF16(flatW, master)
+						opt.UnpackValues(params, flatW)
 					}
-					gShard := shardGroup.ReduceScatter(r, flatG)
-					if replGroup != nil {
-						// HYBRID: the shard groups hold group-local
-						// gradient sums; all-reducing each shard across
-						// its replica group completes the global mean.
-						replGroup.AllReduce(r, gShard)
-					}
+				case !bf16: // sharded FP32
+					eng.gatherShard(gBuf)
 					if cfg.ClipNorm > 0 {
 						// Global-norm clipping over the sharded
 						// gradient: the shard group's members hold
-						// disjoint shards covering the whole flat
+						// disjoint spans covering the whole flat
 						// space, so their sums of squares all-reduce to
 						// the same total the single-rank clip computes.
-						norm := math.Sqrt(shardGroup.AllReduceScalar(r, sumSq(gShard)))
+						var norm float64
+						timer.comm(func() {
+							norm = math.Sqrt(gradGroup.AllReduceScalar(r, sumSq(gBuf)))
+						})
 						if norm > cfg.ClipNorm && norm > 0 {
-							tensor.Scale(gShard, gShard, float32(cfg.ClipNorm/norm))
+							tensor.Scale(gBuf, gBuf, float32(cfg.ClipNorm/norm))
 						}
 					}
-					shardOpt.Step(lr, flatW[lo:hi], gShard)
+					opt.GatherSpans(wBuf, flatW, ownSpans)
+					shardOpt.Step(lr, wBuf, gBuf)
+					opt.ScatterSpans(flatW, wBuf, ownSpans)
 					// Re-assemble the updated parameters. For the
 					// resharded strategies this all-gather is the next
 					// forward's parameter gather executed eagerly (the
 					// executed analog of FSDP's prefetching): per-step
 					// volumes are unchanged and every step ends with
 					// bit-identical assembled replicas.
-					shardGroup.AllGather(r, flatW, nil)
+					eng.allGatherParams(flatW)
+					opt.UnpackValues(params, flatW)
+				default: // sharded BF16
+					eng.gatherShard(gBuf)
+					var overflow bool
+					timer.comm(func() {
+						overflow = r.AllReduceScalar(boolFlag(opt.HasNonFinite(gBuf))) > 0
+					})
+					if !scaler.Update(overflow) {
+						tensor.Scale(gBuf, gBuf, invScale)
+						if cfg.ClipNorm > 0 {
+							var norm float64
+							timer.comm(func() {
+								norm = math.Sqrt(gradGroup.AllReduceScalar(r, sumSq(gBuf)))
+							})
+							if norm > cfg.ClipNorm && norm > 0 {
+								tensor.Scale(gBuf, gBuf, float32(cfg.ClipNorm/norm))
+							}
+						}
+						shardOpt.Step(lr, master, gBuf)
+						off := 0
+						for _, sp := range ownSpans {
+							tensor.RoundBF16(flatW[sp.Lo:sp.Hi], master[off:off+sp.Len()])
+							off += sp.Len()
+						}
+					}
+					// The parameter all-gather runs even on skipped
+					// steps — it is idempotent, the working copy being
+					// unchanged — so every optimizer step moves exactly
+					// the wire bytes fsdp.TrafficPerStep charges.
+					eng.allGatherParams(flatW)
 					opt.UnpackValues(params, flatW)
 				}
 
-				gLoss := r.AllReduceScalar(loss) / float64(n)
-				loader.Recycle(batch)
+				var gLoss float64
+				timer.comm(func() {
+					gLoss = r.AllReduceScalar(lossSum*invAccum) / float64(n)
+				})
+				lossSum = 0
+				micro = 0
 				if r.ID() == 0 {
 					epochLoss.Add(gLoss)
 					res.LossCurve.Append(float64(step), gLoss)
@@ -540,23 +697,33 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 				st.OptStep = optim.StepCount()
 			}
 		case r.ID() < part.Shards:
-			if end := min(hi, dim); lo < end {
-				if bf16 {
-					copy(st.Master[lo:end], master[:end-lo])
-				} else {
-					copy(st.Master[lo:end], flatW[lo:end])
-				}
-				shardOpt.CopyMoments(st.OptM[lo:end], st.OptV[lo:end])
+			if bf16 {
+				scatterSpansClipped(st.Master, master, ownSpans, dim)
+			} else {
+				gatherSpansClipped(wBuf, flatW, ownSpans, dim)
+				scatterSpansClipped(st.Master, wBuf, ownSpans, dim)
 			}
+			mLoc := make([]float32, ownLen)
+			vLoc := make([]float32, ownLen)
+			shardOpt.CopyMoments(mLoc, vLoc)
+			scatterSpansClipped(st.OptM, mLoc, ownSpans, dim)
+			scatterSpansClipped(st.OptV, vLoc, ownSpans, dim)
 			if r.ID() == 0 {
 				st.OptStep = shardOpt.StepCount()
 			}
 		}
 		if r.ID() == 0 {
 			res.Steps = step - startEpoch*stepsPerEpoch
+			// One source of truth for the decomposition (incl. the
+			// negative-residual clamp): the trace constructor.
+			b := trace.NewExecBreakdown("", res.Steps, time.Since(loopStart).Seconds(), timer.exposed.Seconds())
+			res.WallSec = b.WallSec
+			res.ExposedCommSec = b.ExposedCommSec
+			res.ComputeSec = b.ComputeSec
 			st.Step = step
 			st.Epoch = lastEpoch
 			st.Precision = cfg.Precision
+			st.AccumSteps = accum
 			if scaler != nil {
 				st.LossScale = scaler.Scale
 				st.ScaleGoodSteps = scaler.GoodSteps()
@@ -578,87 +745,9 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	res.State = st
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 {
-		res.ImagesPerSec = float64(res.Steps*cfg.BatchSize) / elapsed
+		res.ImagesPerSec = float64(res.Steps*cfg.BatchSize*accum) / elapsed
 	}
 	return res, nil
-}
-
-// bf16State bundles one rank's per-step context for the BF16
-// synchronization path.
-type bf16State struct {
-	scaler       *opt.LossScaler
-	clipNorm, lr float64
-	mode         execMode
-	bucketElems  int
-	flatG, flatW []float32
-	master       []float32
-	wire         []uint16
-	dim, lo, hi  int
-	shardGroup   *dist.Group
-	replGroup    *dist.Group
-	shardOpt     *opt.ShardedAdamW
-	params       []*nn.Param
-}
-
-// stepBF16 runs the synchronization + optimizer half of one BF16 step,
-// after flatG has been packed and scaled by lossScale/n: reduce the
-// scaled gradients over the bf16 wire, detect overflow (locally where
-// the reduction leaves replicated gradients, via a scalar all-reduce
-// where each rank sees only its shard), then either skip the update
-// (the scale backs off) or unscale, clip and update the fp32 master
-// weights, re-deriving the bf16 working copy. The parameter all-gather of the sharded modes runs
-// even on skipped steps — it is idempotent, the working copy being
-// unchanged — so every step moves exactly the wire bytes
-// fsdp.TrafficPerStep charges. The scaler keeps the skip/backoff
-// tallies (LossScaler.Skipped/Backoffs).
-func stepBF16(r *dist.Rank, s bf16State) {
-	padded := len(s.flatG)
-	// The scale the gradients currently carry; Update may move
-	// scaler.Scale before the unscale happens.
-	invScale := 1 / float32(s.scaler.Scale)
-	if s.mode == execReplicated {
-		for off := 0; off < padded; off += s.bucketElems {
-			end := off + s.bucketElems
-			if end > padded {
-				end = padded
-			}
-			r.AllReduceBF16(s.flatG[off:end], s.wire[off:end])
-		}
-		// No collective needed for the verdict here: the bf16
-		// all-reduce leaves every rank with bit-identical gradients, so
-		// the local check is already the global one.
-		if s.scaler.Update(opt.HasNonFinite(s.flatG)) {
-			return
-		}
-		tensor.Scale(s.flatG, s.flatG, invScale)
-		if s.clipNorm > 0 {
-			if norm := math.Sqrt(sumSq(s.flatG[:s.dim])); norm > s.clipNorm && norm > 0 {
-				tensor.Scale(s.flatG, s.flatG, float32(s.clipNorm/norm))
-			}
-		}
-		s.shardOpt.Step(s.lr, s.master, s.flatG)
-		tensor.RoundBF16(s.flatW, s.master)
-		opt.UnpackValues(s.params, s.flatW)
-		return
-	}
-
-	gShard := s.shardGroup.ReduceScatterBF16(r, s.flatG, s.wire)
-	if s.replGroup != nil {
-		s.replGroup.AllReduceBF16(r, gShard, s.wire[s.lo:s.hi])
-	}
-	overflow := r.AllReduceScalar(boolFlag(opt.HasNonFinite(gShard))) > 0
-	if !s.scaler.Update(overflow) {
-		tensor.Scale(gShard, gShard, invScale)
-		if s.clipNorm > 0 {
-			if norm := math.Sqrt(s.shardGroup.AllReduceScalar(r, sumSq(gShard))); norm > s.clipNorm && norm > 0 {
-				tensor.Scale(gShard, gShard, float32(s.clipNorm/norm))
-			}
-		}
-		s.shardOpt.Step(s.lr, s.master, gShard)
-		tensor.RoundBF16(s.flatW[s.lo:s.hi], s.master)
-	}
-	s.shardGroup.AllGatherBF16(r, s.flatW, nil, s.wire)
-	opt.UnpackValues(s.params, s.flatW)
 }
 
 // boolFlag maps an overflow verdict onto the scalar all-reduce domain.

@@ -226,4 +226,83 @@ func TestResumeValidation(t *testing.T) {
 	if _, err := PretrainDistributed(c, tinyDataset(32)); err == nil {
 		t.Error("FP32-captured state accepted under BF16")
 	}
+	// Accumulation-window mismatch: Step counts optimizer steps, so the
+	// mask fast-forward consumes Step×AccumSteps micro-batches — a
+	// different window must fail fast, not resume on a misaligned mask
+	// stream. (MaxStepsPerEpoch pins stepsPerEpoch so the Step check
+	// alone cannot catch it.)
+	c = cfg
+	c.StopAfterEpoch = 0
+	c.MaxStepsPerEpoch = 1
+	c.AccumSteps = 2
+	mismatch := *st
+	mismatch.Step = 1 // consistent with 1 step/epoch × 1 epoch
+	c.Resume = &mismatch
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err == nil {
+		t.Error("state captured without accumulation accepted under AccumSteps=2")
+	}
+	// And a pre-accumulation state (AccumSteps zero value) resumes an
+	// unaccumulated run.
+	if st.AccumSteps != 1 {
+		t.Errorf("captured state AccumSteps = %d, want 1", st.AccumSteps)
+	}
+}
+
+// TestResumeWithWorkersBitwise is the PR 4 fast-forward audit's
+// regression: resuming mid-run with 4 loader workers per rank (the
+// paper's configuration) — here additionally under overlap and a
+// 2-micro-step accumulation window — must be bitwise identical to the
+// uninterrupted run. The hazards this pins down: dataload.SkipEpochs
+// must not disturb the batch pool (a double-put panics the run via the
+// Recycle guard), and no recycled batch may be delivered while a
+// worker still holds it (run under -race in CI, which would flag the
+// overlapping writes).
+func TestResumeWithWorkersBitwise(t *testing.T) {
+	base := tinyDistConfig(4, fsdp.BestPractice(fsdp.HybridShard, 2))
+	base.Epochs = 4
+	base.Workers = 4
+	base.Overlap = true
+	base.AccumSteps = 2
+
+	ref, err := PretrainDistributed(base, tinyDataset(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legA := base
+	legA.StopAfterEpoch = 2
+	a, err := PretrainDistributed(legA, tinyDataset(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrainState(&buf, a.State); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadTrainState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legB := base
+	legB.Resume = restored
+	b, err := PretrainDistributed(legB, tinyDataset(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(ref.LossCurve.Y) / 2
+	for i := range b.LossCurve.Y {
+		if math.Float64bits(b.LossCurve.Y[i]) != math.Float64bits(ref.LossCurve.Y[half+i]) {
+			t.Fatalf("resumed loss differs at step %d: %v vs %v",
+				half+i, b.LossCurve.Y[i], ref.LossCurve.Y[half+i])
+		}
+	}
+	dim := opt.FlatDim(ref.Model.Params())
+	want := make([]float32, dim)
+	got := make([]float32, dim)
+	opt.PackValues(want, ref.Model.Params())
+	opt.PackValues(got, b.Model.Params())
+	for j := range want {
+		if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+			t.Fatalf("resumed parameters differ at flat element %d", j)
+		}
+	}
 }

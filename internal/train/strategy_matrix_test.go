@@ -2,9 +2,11 @@ package train
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/fsdp"
+	"repro/internal/mae"
 	"repro/internal/opt"
 )
 
@@ -98,6 +100,119 @@ func TestStrategyMatrix(t *testing.T) {
 						res.Comm.ReduceScatter.ModelWireBytes, res.Comm.ReduceScatter.MeasuredWireBytes)
 				}
 			})
+		}
+	}
+}
+
+// TestStrategyMatrixOverlapAccum extends the matrix along the two new
+// execution axes: for every {ddp, zero1, full, hybrid:2} × {fp32,
+// bf16} cell, overlap on/off and AccumSteps ∈ {1, 4} must (a) be
+// bitwise identical between overlap on and off (params and per-step
+// losses), (b) reproduce the single-rank run with the same *effective*
+// batch — AccumSteps=4 at global batch 8 tracks a single-rank batch-32
+// run — within tolerance, (c) keep replicas bit-identical, and (d)
+// still put exactly fsdp.TrafficPerStep wire bytes on the rings per
+// optimizer step (accumulation fires collectives once per window, so
+// the per-step volume is unchanged).
+func TestStrategyMatrixOverlapAccum(t *testing.T) {
+	const world = 4
+	plans := []fsdp.Plan{
+		fsdp.DefaultDDP(),
+		fsdp.BestPractice(fsdp.ShardGradOp, 0),
+		fsdp.BestPractice(fsdp.FullShard, 0),
+		fsdp.BestPractice(fsdp.HybridShard, 2),
+	}
+	// Single-rank references at the effective batch sizes: 8·1 and 8·4.
+	refs := map[int]*PretrainResult{}
+	for _, accum := range []int{1, 4} {
+		base := tinyDistConfig(1, fsdp.DefaultDDP())
+		base.Epochs = 2
+		base.MaxStepsPerEpoch = 2
+		base.BatchSize = 8 * accum
+		ref, err := Pretrain(base.PretrainConfig, tinyDataset(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[accum] = ref
+	}
+
+	run := func(plan fsdp.Plan, prec Precision, accum int, overlap bool) *DistResult {
+		cfg := tinyDistConfig(world, plan)
+		cfg.Epochs = 2
+		cfg.MaxStepsPerEpoch = 2
+		cfg.Precision = prec
+		cfg.AccumSteps = accum
+		cfg.Overlap = overlap
+		res, err := PretrainDistributed(cfg, tinyDataset(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := func(m []*mae.Model, i int) []float32 {
+		buf := make([]float32, opt.FlatDim(m[i].Params()))
+		opt.PackValues(buf, m[i].Params())
+		return buf
+	}
+
+	for _, plan := range plans {
+		for _, prec := range []Precision{FP32, BF16} {
+			for _, accum := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%s/accum=%d", plan.Name(), prec, accum), func(t *testing.T) {
+					off := run(plan, prec, accum, false)
+					on := run(plan, prec, accum, true)
+					ref := refs[accum]
+					if off.Steps != ref.Steps || on.Steps != off.Steps {
+						t.Fatalf("steps: overlap-off %d, overlap-on %d, single-rank %d",
+							off.Steps, on.Steps, ref.Steps)
+					}
+					// (a) overlap on ≡ overlap off, bit for bit.
+					for i := range off.LossCurve.Y {
+						if math.Float64bits(on.LossCurve.Y[i]) != math.Float64bits(off.LossCurve.Y[i]) {
+							t.Fatalf("overlap changes the loss at step %d: %v vs %v",
+								i, on.LossCurve.Y[i], off.LossCurve.Y[i])
+						}
+					}
+					wOff, wOn := flat(off.replicas, 0), flat(on.replicas, 0)
+					for j := range wOff {
+						if math.Float32bits(wOn[j]) != math.Float32bits(wOff[j]) {
+							t.Fatalf("overlap changes parameter %d: %v vs %v", j, wOn[j], wOff[j])
+						}
+					}
+					// (b) the distributed window reproduces the
+					// single-rank run at the same effective batch —
+					// same sample order, same masks, same LR schedule.
+					tol := 1e-3
+					if prec == BF16 {
+						tol = 5e-3 // bf16 working weights vs the fp32 reference
+					}
+					for i := range ref.LossCurve.Y {
+						if !relClose(off.LossCurve.Y[i], ref.LossCurve.Y[i], tol) {
+							t.Fatalf("accum=%d loss diverges from effective-batch single-rank at step %d: %v vs %v",
+								accum, i, off.LossCurve.Y[i], ref.LossCurve.Y[i])
+						}
+					}
+					// (c) replicas bit-identical across ranks.
+					for rank := 1; rank < world; rank++ {
+						wr := flat(on.replicas, rank)
+						for j := range wr {
+							if math.Float32bits(wr[j]) != math.Float32bits(wOn[j]) {
+								t.Fatalf("rank %d diverged at flat element %d", rank, j)
+							}
+						}
+					}
+					// (d) per-optimizer-step traffic unchanged by
+					// accumulation and overlap.
+					for _, res := range []*DistResult{off, on} {
+						steps := float64(res.Steps)
+						if res.Comm.AllReduce.MeasuredWireBytes != res.Traffic.AllReduceBytes*steps ||
+							res.Comm.ReduceScatter.MeasuredWireBytes != res.Traffic.ReduceScatterBytes*steps ||
+							res.Comm.AllGather.MeasuredWireBytes != res.Traffic.AllGatherBytes*steps {
+							t.Errorf("measured bytes drift from TrafficPerStep × %v steps", steps)
+						}
+					}
+				})
+			}
 		}
 	}
 }

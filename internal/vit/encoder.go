@@ -47,9 +47,28 @@ func (e *Encoder) Forward(x []float32, batch, tokens int) []float32 {
 
 // Backward propagates through the stack in reverse.
 func (e *Encoder) Backward(dy []float32) []float32 {
+	return e.BackwardLayers(dy, nil)
+}
+
+// BackwardLayers is Backward at layer granularity: yield (if non-nil)
+// runs after the final LayerNorm's backward and again after each
+// block's backward, in execution (reverse) order — at each call the
+// unit just completed has final parameter gradients. This is the hook
+// the executed communication-overlap path uses to launch a unit's
+// gradient collective the moment backward is done with it, while the
+// remaining blocks keep computing. The arithmetic is identical to
+// Backward's (Backward delegates here), so overlapped and synchronous
+// schedules train bit-identical trajectories.
+func (e *Encoder) BackwardLayers(dy []float32, yield func()) []float32 {
 	d := e.Norm.Backward(dy)
+	if yield != nil {
+		yield()
+	}
 	for i := len(e.Blocks) - 1; i >= 0; i-- {
 		d = e.Blocks[i].Backward(d)
+		if yield != nil {
+			yield()
+		}
 	}
 	return d
 }
