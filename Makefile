@@ -39,7 +39,7 @@ bench:
 	@echo "wrote BENCH_gemm.json"
 
 bench-dist:
-	$(GO) test -bench DistStep -run NONE -benchtime 20x ./internal/train/ > bench_dist.out
+	$(GO) test -bench 'DistStep|ElasticRestart' -run NONE -benchtime 20x ./internal/train/ > bench_dist.out
 	@cat bench_dist.out
 	$(GO) run ./tools/benchjson < bench_dist.out > BENCH_dist.json
 	@rm -f bench_dist.out

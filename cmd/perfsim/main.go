@@ -18,11 +18,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fsdp"
 	"repro/internal/perfmodel"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: table1, table2, 1, 2, 3, 4, minmem, all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: table1, table2, 1, 2, 3, 4, minmem, restart, all")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (default: the paper's sweep)")
 	withTrace := flag.Bool("trace", false, "emit the Figure 4 rocm-smi trace CSVs")
 	precFlag := flag.String("precision", "bf16", "numeric profile for the scaling figures: bf16 (the paper's AMP recipe) or fp32")
@@ -85,6 +86,13 @@ func main() {
 	}
 	if want("minmem") {
 		fmt.Println(experiments.MinGPUTable().Render())
+	}
+	if want("restart") {
+		t, err := experiments.RestartExperiment(nodes, prec, fsdp.FaultModel{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
 	}
 }
 

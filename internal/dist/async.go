@@ -154,6 +154,11 @@ func (q *asyncQueue) exec(w *World, op asyncOp) {
 		if p := recover(); p != nil {
 			if err, ok := p.(error); ok && errors.Is(err, ErrAborted) {
 				op.h.err = ErrAborted
+			} else if err, ok := p.(error); ok {
+				// %w keeps the chain intact so Wait re-raises an error
+				// callers can still match sentinels against.
+				op.h.err = fmt.Errorf("dist: async collective panicked: %w", err)
+				w.doAbort()
 			} else {
 				op.h.err = fmt.Errorf("dist: async collective panicked: %v", p)
 				w.doAbort()
@@ -178,9 +183,10 @@ func (q *asyncQueue) exec(w *World, op asyncOp) {
 }
 
 // issue validates membership eagerly (on the issuing goroutine, so a
-// non-member fails fast) and enqueues the operation.
-func (g *Group) issue(r *Rank, dep *Handle, run func(m member) []float32) *Handle {
-	m := g.on(r)
+// non-member fails fast), counts the collective entry against the
+// issuing rank's fault sequence, and enqueues the operation.
+func (g *Group) issue(r *Rank, dep *Handle, op Op, run func(m member) []float32) *Handle {
+	m := g.on(r).enter(op)
 	h := &Handle{done: make(chan struct{})}
 	r.queue(g).ops <- asyncOp{h: h, dep: dep, run: func() []float32 { return run(m) }}
 	return h
@@ -190,7 +196,7 @@ func (g *Group) issue(r *Rank, dep *Handle, run func(m member) []float32) *Handl
 // Wait returns nil and buf holds the identical full result on every
 // member. len(buf) must be a multiple of the group size.
 func (g *Group) AllReduceAsync(r *Rank, buf []float32) *Handle {
-	return g.issue(r, nil, func(m member) []float32 { m.allReduce(buf); return nil })
+	return g.issue(r, nil, OpAllReduce, func(m member) []float32 { m.allReduce(buf); return nil })
 }
 
 // AllReduceAsyncAfter is AllReduceAsync ordered behind after (a handle
@@ -198,14 +204,14 @@ func (g *Group) AllReduceAsync(r *Rank, buf []float32) *Handle {
 // completes. Used by HYBRID_SHARD to chain a bucket's replica-group
 // all-reduce behind its shard-group reduce-scatter.
 func (g *Group) AllReduceAsyncAfter(r *Rank, buf []float32, after *Handle) *Handle {
-	return g.issue(r, after, func(m member) []float32 { m.allReduce(buf); return nil })
+	return g.issue(r, after, OpAllReduce, func(m member) []float32 { m.allReduce(buf); return nil })
 }
 
 // ReduceScatterAsync launches the group reduce-scatter of buf
 // asynchronously; Wait returns the caller's fully reduced shard (chunk
 // RankOf(r) of buf). The other chunks are garbage after completion.
 func (g *Group) ReduceScatterAsync(r *Rank, buf []float32) *Handle {
-	return g.issue(r, nil, func(m member) []float32 {
+	return g.issue(r, nil, OpReduceScatter, func(m member) []float32 {
 		return m.reduceScatter(buf, OpReduceScatter, true)
 	})
 }
@@ -213,7 +219,7 @@ func (g *Group) ReduceScatterAsync(r *Rank, buf []float32) *Handle {
 // AllGatherAsync launches the group all-gather of buf asynchronously
 // (shard semantics as AllGather); Wait returns nil.
 func (g *Group) AllGatherAsync(r *Rank, buf, shard []float32) *Handle {
-	return g.issue(r, nil, func(m member) []float32 {
+	return g.issue(r, nil, OpAllGather, func(m member) []float32 {
 		m.allGatherOp(buf, shard, OpAllGather, true)
 		return nil
 	})
@@ -224,19 +230,19 @@ func (g *Group) AllGatherAsync(r *Rank, buf, shard []float32) *Handle {
 // wire is uint16 scratch with len(wire) == len(buf), owned by the
 // collective until Wait.
 func (g *Group) AllReduceBF16Async(r *Rank, buf []float32, wire []uint16) *Handle {
-	return g.issue(r, nil, func(m member) []float32 { m.allReduceBF16(buf, wire); return nil })
+	return g.issue(r, nil, OpAllReduce, func(m member) []float32 { m.allReduceBF16(buf, wire); return nil })
 }
 
 // AllReduceBF16AsyncAfter is AllReduceBF16Async ordered behind a
 // handle from another group's queue.
 func (g *Group) AllReduceBF16AsyncAfter(r *Rank, buf []float32, wire []uint16, after *Handle) *Handle {
-	return g.issue(r, after, func(m member) []float32 { m.allReduceBF16(buf, wire); return nil })
+	return g.issue(r, after, OpAllReduce, func(m member) []float32 { m.allReduceBF16(buf, wire); return nil })
 }
 
 // ReduceScatterBF16Async is ReduceScatterAsync over the bf16 wire;
 // Wait returns the caller's fp32-accumulated shard.
 func (g *Group) ReduceScatterBF16Async(r *Rank, buf []float32, wire []uint16) *Handle {
-	return g.issue(r, nil, func(m member) []float32 {
+	return g.issue(r, nil, OpReduceScatter, func(m member) []float32 {
 		return m.reduceScatterBF16(buf, wire, OpReduceScatter, true)
 	})
 }
@@ -244,7 +250,7 @@ func (g *Group) ReduceScatterBF16Async(r *Rank, buf []float32, wire []uint16) *H
 // AllGatherBF16Async is AllGatherAsync over the bf16 wire (every
 // contribution rounded to bf16 before travelling; see AllGatherBF16).
 func (g *Group) AllGatherBF16Async(r *Rank, buf, shard []float32, wire []uint16) *Handle {
-	return g.issue(r, nil, func(m member) []float32 {
+	return g.issue(r, nil, OpAllGather, func(m member) []float32 {
 		m.allGatherBF16(buf, shard, wire, OpAllGather, true)
 		return nil
 	})

@@ -248,6 +248,60 @@ func TestAsyncAbort(t *testing.T) {
 	}
 }
 
+// TestAsyncAbortHybridSubgroups: a rank dying mid-collective in a
+// two-level (hybrid) world must unblock every peer parked in a shard
+// *or* replica subgroup with ErrAborted — including handles the victim
+// abandoned un-Waited — and Run must return the originating error.
+// Run under -race in CI: the abort path crosses the async workers of
+// four ranks over four subgroups concurrently.
+func TestAsyncAbortHybridSubgroups(t *testing.T) {
+	const n, g = 4, 2
+	boom := errors.New("boom")
+	w := New(n, Options{})
+	var sawAborted [n]bool
+	err := w.Run(func(r *Rank) error {
+		first := r.ID() / g * g
+		sg := w.Subgroup([]int{first, first + 1})
+		rg := w.Subgroup([]int{r.ID() % g, r.ID()%g + g})
+		buf := make([]float32, 8)
+		if r.ID() == 3 {
+			// The victim: issue a shard-group collective it will never
+			// Wait (abandoned at exit), then die "mid-step".
+			sg.ReduceScatterAsync(r, buf)
+			panic(boom)
+		}
+		defer func() {
+			if p := recover(); p == nil {
+				t.Errorf("rank %d was not unblocked", r.ID())
+			} else if e, ok := p.(error); !ok || !errors.Is(e, ErrAborted) {
+				t.Errorf("rank %d panicked with %v, want ErrAborted", r.ID(), p)
+			} else {
+				sawAborted[r.ID()] = true
+				panic(p) // re-raise so Run records the abort
+			}
+		}()
+		// Every survivor has work in flight on both levels: the chained
+		// replica all-reduce can only complete if rank 3 participates.
+		rs := sg.ReduceScatterAsync(r, buf)
+		ar := rg.AllReduceAsyncAfter(r, buf[:4], rs)
+		rs.Wait()
+		ar.Wait()
+		// Ranks whose groups exclude rank 3 entirely (rank 0's shard
+		// group {0,1} and replica group {0,2}) may get this far; the
+		// next world-group collective parks them until the abort.
+		r.AllReduce(buf[:4])
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want the originating error", err)
+	}
+	for id := 0; id < n-1; id++ {
+		if !sawAborted[id] {
+			t.Errorf("rank %d completed without observing the abort", id)
+		}
+	}
+}
+
 // TestAsyncFIFOOrdering: operations issued on one group execute in
 // issue order — a later all-gather observes the earlier all-reduce's
 // result.

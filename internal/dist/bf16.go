@@ -38,7 +38,7 @@ const bf16WireBytes = 2
 // buf. wire is caller-provided uint16 scratch with len(wire) ==
 // len(buf); len(buf) must be a multiple of the world size.
 func (r *Rank) AllReduceBF16(buf []float32, wire []uint16) {
-	r.w.root.on(r).allReduceBF16(buf, wire)
+	r.w.root.AllReduceBF16(r, buf, wire)
 }
 
 // ReduceScatterBF16 is ReduceScatter over the bf16 wire: the returned
@@ -47,7 +47,7 @@ func (r *Rank) AllReduceBF16(buf []float32, wire []uint16) {
 // garbage afterwards. wire is uint16 scratch with len(wire) ==
 // len(buf).
 func (r *Rank) ReduceScatterBF16(buf []float32, wire []uint16) []float32 {
-	return r.w.root.on(r).reduceScatterBF16(buf, wire, OpReduceScatter, true)
+	return r.w.root.ReduceScatterBF16(r, buf, wire)
 }
 
 // AllGatherBF16 is AllGather over the bf16 wire. Every contribution is
@@ -56,25 +56,25 @@ func (r *Rank) ReduceScatterBF16(buf []float32, wire []uint16) []float32 {
 // hold bit-identical buffers afterwards. wire is uint16 scratch with
 // len(wire) == len(buf).
 func (r *Rank) AllGatherBF16(buf, shard []float32, wire []uint16) {
-	r.w.root.on(r).allGatherBF16(buf, shard, wire, OpAllGather, true)
+	r.w.root.AllGatherBF16(r, buf, shard, wire)
 }
 
 // AllReduceBF16 is the group-scoped bf16 all-reduce (see
 // Rank.AllReduceBF16). len(buf) must be a multiple of the group size.
 func (g *Group) AllReduceBF16(r *Rank, buf []float32, wire []uint16) {
-	g.on(r).allReduceBF16(buf, wire)
+	g.on(r).enter(OpAllReduce).allReduceBF16(buf, wire)
 }
 
 // ReduceScatterBF16 is the group-scoped bf16 reduce-scatter (see
 // Rank.ReduceScatterBF16).
 func (g *Group) ReduceScatterBF16(r *Rank, buf []float32, wire []uint16) []float32 {
-	return g.on(r).reduceScatterBF16(buf, wire, OpReduceScatter, true)
+	return g.on(r).enter(OpReduceScatter).reduceScatterBF16(buf, wire, OpReduceScatter, true)
 }
 
 // AllGatherBF16 is the group-scoped bf16 all-gather (see
 // Rank.AllGatherBF16).
 func (g *Group) AllGatherBF16(r *Rank, buf, shard []float32, wire []uint16) {
-	g.on(r).allGatherBF16(buf, shard, wire, OpAllGather, true)
+	g.on(r).enter(OpAllGather).allGatherBF16(buf, shard, wire, OpAllGather, true)
 }
 
 // abortable uint16 edge operations, the bf16 twins of sendView/recvView.

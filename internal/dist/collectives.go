@@ -27,6 +27,11 @@ type Rank struct {
 	// started worker goroutines; see async.go). Touched only from the
 	// rank's own goroutine.
 	queues map[*Group]*asyncQueue
+
+	// collectives counts collective entries (sync calls + async
+	// issues) on this rank — the deterministic sequence a FaultPlan
+	// indexes; see fault.go. Touched only from the rank's goroutine.
+	collectives int64
 }
 
 // ID returns the rank index in [0, Size).
@@ -44,7 +49,7 @@ func (r *Rank) Barrier() { r.w.root.bar.wait() }
 // chunks of buf hold partial sums and must be treated as garbage.
 // len(buf) must be a multiple of the world size.
 func (r *Rank) ReduceScatter(buf []float32) []float32 {
-	return r.w.root.on(r).reduceScatter(buf, OpReduceScatter, true)
+	return r.w.root.ReduceScatter(r, buf)
 }
 
 // AllGather fills buf with every rank's shard: rank i contributes chunk
@@ -53,19 +58,19 @@ func (r *Rank) ReduceScatter(buf []float32) []float32 {
 // hold this rank's contribution. len(buf) must be a multiple of the
 // world size and len(shard), when non-nil, must equal len(buf)/Size.
 func (r *Rank) AllGather(buf []float32, shard []float32) {
-	r.w.root.on(r).allGatherOp(buf, shard, OpAllGather, true)
+	r.w.root.AllGather(r, buf, shard)
 }
 
 // AllReduce sums buf element-wise across all ranks, leaving every rank
 // with the identical full result (ring reduce-scatter followed by ring
 // all-gather, the same algorithm RCCL runs). len(buf) must be a
 // multiple of the world size.
-func (r *Rank) AllReduce(buf []float32) { r.w.root.on(r).allReduce(buf) }
+func (r *Rank) AllReduce(buf []float32) { r.w.root.AllReduce(r, buf) }
 
 // Broadcast copies root's buf to every rank's buf via a pipelined ring:
 // each rank forwards the payload to its successor, so ranks 0..n−2 each
 // put the full buffer on the wire once. Any length is allowed.
-func (r *Rank) Broadcast(buf []float32, root int) { r.w.root.on(r).broadcast(buf, root) }
+func (r *Rank) Broadcast(buf []float32, root int) { r.w.root.Broadcast(r, buf, root) }
 
 // AllReduceScalar sums a float64 control value across ranks (loss
 // averaging, global gradient norms) and returns the identical total on
@@ -74,7 +79,7 @@ func (r *Rank) Broadcast(buf []float32, root int) { r.w.root.on(r).broadcast(buf
 // in Stats; scalar control traffic is excluded from the wire-byte
 // comparisons against the fsdp simulator, which does not model it.
 func (r *Rank) AllReduceScalar(v float64) float64 {
-	return r.w.root.on(r).allReduceScalar(v)
+	return r.w.root.AllReduceScalar(r, v)
 }
 
 // abortable channel operations: every blocking ring edge also watches
@@ -173,8 +178,13 @@ func (m member) end(op Op, c comm.Cost, t0 time.Time) {
 	}
 	// Congested-link mode: realize the modeled cost as wall time on
 	// every rank, so executed step times carry the α–β collective cost
-	// the simulator prices (Options.Throttle).
+	// the simulator prices (Options.Throttle). A rank with a throttle
+	// skew sleeps proportionally longer — the straggler whose delay the
+	// lockstep collectives impose on every peer.
 	if th := m.g.w.throttle; th > 0 && c.Time > 0 {
+		if s, ok := m.g.w.skew[m.r.id]; ok && s > 0 {
+			th *= s
+		}
 		time.Sleep(time.Duration(c.Time * th * float64(time.Second)))
 	}
 }

@@ -69,6 +69,14 @@
 // rank, and model accounting keeps world rank 0's view of the SPMD
 // schedule (in a symmetric schedule every rank sends the same volume,
 // so rank 0's calls are the world's calls).
+//
+// # Failure injection
+//
+// Options.Fault (a FaultPlan) kills a chosen rank as it enters a
+// chosen collective, and Options.ThrottleSkew slows a chosen rank's
+// collectives by a per-rank factor (straggler mode) — the fault model
+// behind the elastic shrink-and-resume training path; see fault.go
+// for the counting rules and the abort protocol the injection drives.
 package dist
 
 import (
@@ -98,6 +106,19 @@ type Options struct {
 	// fsdp simulator prices, measurably (see the overlap benchmarks in
 	// internal/train).
 	Throttle float64
+	// ThrottleSkew scales Throttle per world rank (straggler mode): a
+	// rank listed here sleeps skew × Throttle × modeled time after each
+	// collective instead of 1 × Throttle. Because the collectives are
+	// synchronous-lockstep, one skewed rank delays every peer at the
+	// next synchronization point — the executed analog of one slow GPU
+	// (thermal throttling, a degraded link) holding back a whole job,
+	// which the straggler tests hold to the α–β lockstep prediction.
+	// Ranks not present (or with non-positive skew) run at plain
+	// Throttle. Ignored when Throttle is 0.
+	ThrottleSkew map[int]float64
+	// Fault schedules one deterministic rank death for fault-tolerance
+	// testing; the zero value injects nothing. See FaultPlan.
+	Fault FaultPlan
 }
 
 // DefaultLink returns the modeled link for an n-rank group co-located
@@ -199,6 +220,8 @@ type World struct {
 	n        int
 	link     comm.Params
 	throttle float64
+	skew     map[int]float64
+	fault    FaultPlan
 
 	ranks []*Rank
 
@@ -235,10 +258,25 @@ func New(n int, opts Options) *World {
 	if link.Bandwidth <= 0 {
 		link = DefaultLink(n)
 	}
+	if opts.Fault.Armed() && (opts.Fault.Rank < 0 || opts.Fault.Rank >= n) {
+		panic(fmt.Sprintf("dist: fault plan targets rank %d outside world %d", opts.Fault.Rank, n))
+	}
+	var skew map[int]float64
+	if len(opts.ThrottleSkew) > 0 {
+		skew = make(map[int]float64, len(opts.ThrottleSkew))
+		for id, s := range opts.ThrottleSkew {
+			if id < 0 || id >= n {
+				panic(fmt.Sprintf("dist: throttle skew targets rank %d outside world %d", id, n))
+			}
+			skew[id] = s
+		}
+	}
 	w := &World{
 		n:        n,
 		link:     link,
 		throttle: opts.Throttle,
+		skew:     skew,
+		fault:    opts.Fault,
 		subs:     make(map[string]*Group),
 		abort:    make(chan struct{}),
 	}
@@ -278,6 +316,10 @@ func (w *World) Run(fn func(r *Rank) error) error {
 				if p := recover(); p != nil {
 					if err, ok := p.(error); ok && errors.Is(err, ErrAborted) {
 						errs[r.id] = ErrAborted
+					} else if err, ok := p.(error); ok {
+						// %w keeps the chain intact so callers can match
+						// sentinels (ErrInjectedFault) through Run's error.
+						errs[r.id] = fmt.Errorf("dist: rank %d panicked: %w", r.id, err)
 					} else {
 						errs[r.id] = fmt.Errorf("dist: rank %d panicked: %v", r.id, p)
 					}

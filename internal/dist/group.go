@@ -147,7 +147,7 @@ func (g *Group) on(r *Rank) member {
 // AllReduce sums buf element-wise across the group's members, leaving
 // every member with the identical full result. len(buf) must be a
 // multiple of the group size.
-func (g *Group) AllReduce(r *Rank, buf []float32) { g.on(r).allReduce(buf) }
+func (g *Group) AllReduce(r *Rank, buf []float32) { g.on(r).enter(OpAllReduce).allReduce(buf) }
 
 // ReduceScatter sums buf element-wise across the group and leaves the
 // calling member with its fully reduced shard: chunk RankOf(r) of the
@@ -155,7 +155,7 @@ func (g *Group) AllReduce(r *Rank, buf []float32) { g.on(r).allReduce(buf) }
 // chunks hold partial sums afterwards and must be treated as garbage.
 // len(buf) must be a multiple of the group size.
 func (g *Group) ReduceScatter(r *Rank, buf []float32) []float32 {
-	return g.on(r).reduceScatter(buf, OpReduceScatter, true)
+	return g.on(r).enter(OpReduceScatter).reduceScatter(buf, OpReduceScatter, true)
 }
 
 // AllGather fills buf with every member's shard: member i contributes
@@ -163,12 +163,14 @@ func (g *Group) ReduceScatter(r *Rank, buf []float32) []float32 {
 // first; if nil the chunk is assumed to already hold the contribution.
 // len(buf) must be a multiple of the group size.
 func (g *Group) AllGather(r *Rank, buf, shard []float32) {
-	g.on(r).allGatherOp(buf, shard, OpAllGather, true)
+	g.on(r).enter(OpAllGather).allGatherOp(buf, shard, OpAllGather, true)
 }
 
 // Broadcast copies the group-local root member's buf to every member
 // via a pipelined ring. Any length is allowed.
-func (g *Group) Broadcast(r *Rank, buf []float32, root int) { g.on(r).broadcast(buf, root) }
+func (g *Group) Broadcast(r *Rank, buf []float32, root int) {
+	g.on(r).enter(OpBroadcast).broadcast(buf, root)
+}
 
 // Barrier blocks until every member has entered it.
 func (g *Group) Barrier(r *Rank) { g.on(r); g.bar.wait() }
@@ -177,5 +179,5 @@ func (g *Group) Barrier(r *Rank) { g.on(r); g.bar.wait() }
 // members in group-rank order (deterministic, bit-identical result on
 // every member).
 func (g *Group) AllReduceScalar(r *Rank, v float64) float64 {
-	return g.on(r).allReduceScalar(v)
+	return g.on(r).enter(OpScalar).allReduceScalar(v)
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fsdp"
 	"repro/internal/perfmodel"
 )
 
@@ -60,6 +61,32 @@ func TestFig1Experiment(t *testing.T) {
 	// Comm gap must grow from the first to the last row.
 	if mustF(t, tab.Rows[0][7]) >= mustF(t, tab.Rows[2][7]) {
 		t.Fatalf("comm gap did not grow: %v vs %v", tab.Rows[0][7], tab.Rows[2][7])
+	}
+}
+
+func TestRestartExperiment(t *testing.T) {
+	tab, err := RestartExperiment([]int{1, 64, 9408}, perfmodel.Precision{}, fsdp.FaultModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows=%d", len(tab.Rows))
+	}
+	// Overhead grows with scale; efficiency shrinks but stays positive.
+	prev := -1.0
+	for _, row := range tab.Rows {
+		overhead := mustF(t, row[8])
+		eff := mustF(t, row[9])
+		if overhead <= prev {
+			t.Fatalf("overhead not increasing with nodes: %v", tab.Rows)
+		}
+		prev = overhead
+		if eff <= 0 || eff > 100 {
+			t.Fatalf("efficiency %v%% out of range", eff)
+		}
+		if mustF(t, row[4]) < 1 {
+			t.Fatalf("fewer than one step per checkpoint interval: %v", row)
+		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fsdp"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+)
+
+// RestartExperiment prices fault tolerance for the Figure 1 pretraining
+// workload over the paper's node sweep (and beyond, to full Frontier):
+// the simulator's step time converts the Young/Daly-optimal checkpoint
+// interval into steps between checkpoints, and the overhead columns
+// decompose the machine time lost to checkpoint writes, re-done work
+// and restarts at each scale. fm's zero value takes
+// fsdp.DefaultFaultModel — its CheckpointSec/RestartSec are the
+// executed quantities train.ElasticResult measures (bench-dist records
+// them in BENCH_dist.json), so the table is refreshable from measured
+// restart costs.
+func RestartExperiment(nodes []int, prec perfmodel.Precision, fm fsdp.FaultModel) (Table, error) {
+	if len(nodes) == 0 {
+		nodes = append(append([]int{}, Fig1Nodes...), 256, 1024, 9408)
+	}
+	if fm == (fsdp.FaultModel{}) {
+		fm = fsdp.DefaultFaultModel()
+	}
+	prec = normalizePrecision(prec)
+	m := hw.Frontier()
+	w := perfmodel.MAEWorkload(fig1Model(), 32, 0.75)
+	w.Prec = prec
+	plan := fsdp.BestPractice(fsdp.NoShard, 0)
+
+	t := Table{
+		Title: fmt.Sprintf("Checkpoint-restart pricing — MAE ViT-3B, %s, node MTBF %.1fy, ckpt %.0fs, restart %.0fs",
+			precisionName(prec), fm.NodeMTBF/(365*24*3600), fm.CheckpointSec, fm.RestartSec),
+		Header: []string{"Nodes", "MTBF[h]", "tau_young[s]", "tau_daly[s]", "steps/ckpt",
+			"ckpt %", "lost %", "restart %", "overhead %", "efficiency %"},
+	}
+	for _, n := range nodes {
+		syn, err := fsdp.Simulate(w, m, n, plan)
+		if err != nil {
+			return t, err
+		}
+		o, err := fm.Optimal(n)
+		if err != nil {
+			return t, err
+		}
+		young := fsdp.YoungInterval(fm.CheckpointSec, o.SystemMTBF)
+		t.AddRow(fmt.Sprint(n),
+			f1(o.SystemMTBF/3600),
+			f0(young), f0(o.Interval),
+			f0(o.Interval/syn.StepTime),
+			f2(100*o.CheckpointFrac), f2(100*o.LostWorkFrac), f2(100*o.RestartFrac),
+			f2(100*o.Overhead), f1(100*o.Efficiency))
+	}
+	t.AddNote("Young/Daly optimal interval; lost %% is the expected half-interval redone per failure. " +
+		"At full Frontier the system MTBF is hours, not days — the regime the elastic shrink-and-resume path targets.")
+	return t, nil
+}

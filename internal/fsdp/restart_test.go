@@ -1,0 +1,104 @@
+package fsdp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestYoungDalyAgreement: Daly's refinement converges to Young's
+// sqrt(2δM) when checkpoints are cheap relative to the MTBF, and stays
+// below it (shorter intervals) when they are not.
+func TestYoungDalyAgreement(t *testing.T) {
+	const mtbf = 6 * 3600
+	cheap := 1.0
+	y, d := YoungInterval(cheap, mtbf), DalyInterval(cheap, mtbf)
+	if rel := math.Abs(y-d) / y; rel > 0.01 {
+		t.Fatalf("δ≪M: Young %.1f vs Daly %.1f (rel %.3f), want <1%% apart", y, d, rel)
+	}
+	costly := 1800.0
+	if d := DalyInterval(costly, mtbf); d >= YoungInterval(costly, mtbf) {
+		t.Fatalf("δ=%.0f: Daly %.1f not below Young %.1f", costly, d, YoungInterval(costly, mtbf))
+	}
+	// Degenerate regime: interval clamps to the MTBF.
+	if d := DalyInterval(3*mtbf, mtbf); d != mtbf {
+		t.Fatalf("δ≥2M: Daly %.1f, want the MTBF", d)
+	}
+}
+
+// TestYoungIntervalMonotone: the optimal interval grows with both the
+// checkpoint cost and the MTBF.
+func TestYoungIntervalMonotone(t *testing.T) {
+	if YoungInterval(10, 3600) >= YoungInterval(40, 3600) {
+		t.Fatal("interval not increasing in checkpoint cost")
+	}
+	if YoungInterval(10, 3600) >= YoungInterval(10, 14400) {
+		t.Fatal("interval not increasing in MTBF")
+	}
+}
+
+// TestOptimalIntervalMinimizesOverhead: the Daly interval is a local
+// minimum of the priced overhead — both halving and doubling it cost
+// more, at every node count of the paper's sweep.
+func TestOptimalIntervalMinimizesOverhead(t *testing.T) {
+	f := DefaultFaultModel()
+	for _, nodes := range []int{1, 8, 64, 1024, 9408} {
+		best, err := f.Optimal(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scale := range []float64{0.5, 2} {
+			alt, err := f.Price(nodes, best.Interval*scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alt.Overhead < best.Overhead {
+				t.Errorf("nodes %d: %.2f×τ overhead %.4f beats optimal %.4f",
+					nodes, scale, alt.Overhead, best.Overhead)
+			}
+		}
+		if best.Efficiency <= 0 || best.Efficiency > 1 {
+			t.Errorf("nodes %d: efficiency %v outside (0, 1]", nodes, best.Efficiency)
+		}
+		sum := best.CheckpointFrac + best.LostWorkFrac + best.RestartFrac
+		if math.Abs(sum-best.Overhead) > 1e-12 {
+			t.Errorf("nodes %d: overhead %v does not decompose (%v)", nodes, best.Overhead, sum)
+		}
+	}
+}
+
+// TestOverheadGrowsWithScale: more nodes mean a shorter system MTBF
+// and strictly more fault-tolerance overhead at the optimum — the
+// reliability cost of the paper's weak scaling.
+func TestOverheadGrowsWithScale(t *testing.T) {
+	f := DefaultFaultModel()
+	prev := -1.0
+	for _, nodes := range []int{1, 4, 16, 64, 256, 1024, 9408} {
+		o, err := f.Optimal(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Overhead <= prev {
+			t.Fatalf("overhead %.5f at %d nodes not above %.5f", o.Overhead, nodes, prev)
+		}
+		if want := f.NodeMTBF / float64(nodes); o.SystemMTBF != want {
+			t.Fatalf("system MTBF %v at %d nodes, want %v", o.SystemMTBF, nodes, want)
+		}
+		prev = o.Overhead
+	}
+}
+
+// TestPriceValidation: degenerate models and intervals are rejected.
+func TestPriceValidation(t *testing.T) {
+	f := DefaultFaultModel()
+	if _, err := f.Price(0, 100); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := f.Price(4, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad := f
+	bad.NodeMTBF = 0
+	if _, err := bad.Optimal(4); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+}

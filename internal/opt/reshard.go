@@ -1,0 +1,141 @@
+package opt
+
+import "fmt"
+
+// Checkpoint re-sharding: a sharded run's optimizer state lives as
+// per-rank pieces of one canonical flat layout (master weights, Adam
+// first and second moments, all FlatDim long, pad excluded). Elastic
+// restart at a different world size or strategy means cutting that
+// canonical state under the *old* run's Partition — what each departed
+// rank owned — and rejoining the pieces into the canonical buffers the
+// new layout shards its own way. CutShards and JoinShards are the two
+// halves; train.Reshard wraps them with strategy/topology semantics.
+//
+// The cut ranges are the partition's shard ranges clipped at Dim:
+// padding belongs to the final shard and never reaches a checkpoint,
+// so the last shards of a heavily padded layout (hybrid pad-to-world
+// alignment) shrink and may be empty. JoinShards validates that the
+// set tiles [0, Dim) exactly — a missing, overlapping or inconsistent
+// shard fails loudly instead of assembling silent garbage.
+
+// ClippedRange returns shard i's flat range clipped to the unpadded
+// dimension: [lo, min(hi, Dim)). Pad elements are excluded; later
+// shards of a heavily padded layout may be empty.
+func (p Partition) ClippedRange(i int) (lo, hi int) {
+	lo, hi = p.Range(i)
+	if lo > p.Dim {
+		lo = p.Dim
+	}
+	if hi > p.Dim {
+		hi = p.Dim
+	}
+	return lo, hi
+}
+
+// StateShard is one rank's piece of a re-shardable flat checkpoint:
+// the clipped range [Lo, Hi) of the canonical master/moment tensors,
+// tagged with the layout it was cut under so JoinShards can validate
+// a complete, consistent set.
+type StateShard struct {
+	// Index is the shard index within the layout.
+	Index int
+	// Shards is the total shard count of the layout.
+	Shards int
+	// Dim is the unpadded flat dimension of the full state.
+	Dim int
+	// Lo, Hi bound this shard's clipped flat range.
+	Lo, Hi int
+	// Master, OptM, OptV hold the fp32 master weights and Adam moments
+	// of [Lo, Hi), each Hi−Lo long.
+	Master, OptM, OptV []float32
+}
+
+// CutShards cuts canonical flat state (master weights and Adam
+// moments, each p.Dim long, unpadded) into the per-rank pieces of the
+// partition layout — what each of a p.Shards-way sharded run's owner
+// ranks holds. The returned shards copy their data, so they stay valid
+// after the inputs are reused.
+func CutShards(p Partition, master, optM, optV []float32) ([]StateShard, error) {
+	if len(master) != p.Dim || len(optM) != p.Dim || len(optV) != p.Dim {
+		return nil, fmt.Errorf("opt: cutting state of %d/%d/%d elements under a partition of %d",
+			len(master), len(optM), len(optV), p.Dim)
+	}
+	shards := make([]StateShard, p.Shards)
+	for i := range shards {
+		lo, hi := p.ClippedRange(i)
+		shards[i] = StateShard{
+			Index:  i,
+			Shards: p.Shards,
+			Dim:    p.Dim,
+			Lo:     lo,
+			Hi:     hi,
+			Master: append([]float32(nil), master[lo:hi]...),
+			OptM:   append([]float32(nil), optM[lo:hi]...),
+			OptV:   append([]float32(nil), optV[lo:hi]...),
+		}
+	}
+	return shards, nil
+}
+
+// JoinShards reassembles the canonical flat state from a complete
+// shard set (any order). It validates that every shard of one layout
+// is present exactly once, carries data matching its declared range,
+// and that the ranges tile [0, Dim) — the inverse of CutShards for any
+// partition.
+func JoinShards(shards []StateShard) (master, optM, optV []float32, err error) {
+	if len(shards) == 0 {
+		return nil, nil, nil, fmt.Errorf("opt: joining an empty shard set")
+	}
+	total, dim := shards[0].Shards, shards[0].Dim
+	if len(shards) != total {
+		return nil, nil, nil, fmt.Errorf("opt: %d shards of a %d-shard layout", len(shards), total)
+	}
+	seen := make([]bool, total)
+	los := make([]int, total)
+	his := make([]int, total)
+	master = make([]float32, dim)
+	optM = make([]float32, dim)
+	optV = make([]float32, dim)
+	for _, s := range shards {
+		if s.Shards != total || s.Dim != dim {
+			return nil, nil, nil, fmt.Errorf("opt: shard %d declares layout %d/%d, set is %d/%d",
+				s.Index, s.Shards, s.Dim, total, dim)
+		}
+		if s.Index < 0 || s.Index >= total {
+			return nil, nil, nil, fmt.Errorf("opt: shard index %d of %d", s.Index, total)
+		}
+		if seen[s.Index] {
+			return nil, nil, nil, fmt.Errorf("opt: duplicate shard %d", s.Index)
+		}
+		seen[s.Index] = true
+		if s.Lo < 0 || s.Hi < s.Lo || s.Hi > dim {
+			return nil, nil, nil, fmt.Errorf("opt: shard %d range [%d, %d) outside [0, %d)", s.Index, s.Lo, s.Hi, dim)
+		}
+		n := s.Hi - s.Lo
+		if len(s.Master) != n || len(s.OptM) != n || len(s.OptV) != n {
+			return nil, nil, nil, fmt.Errorf("opt: shard %d carries %d/%d/%d elements for range [%d, %d)",
+				s.Index, len(s.Master), len(s.OptM), len(s.OptV), s.Lo, s.Hi)
+		}
+		copy(master[s.Lo:s.Hi], s.Master)
+		copy(optM[s.Lo:s.Hi], s.OptM)
+		copy(optV[s.Lo:s.Hi], s.OptV)
+		los[s.Index], his[s.Index] = s.Lo, s.Hi
+	}
+	// The clipped shards of a contiguous partition tile [0, Dim) in
+	// index order; verify the tiling directly so corrupted ranges
+	// cannot compensate each other.
+	at := 0
+	for i := 0; i < total; i++ {
+		if !seen[i] {
+			return nil, nil, nil, fmt.Errorf("opt: shard %d missing", i)
+		}
+		if los[i] != at {
+			return nil, nil, nil, fmt.Errorf("opt: shard %d starts at %d, coverage reached %d", i, los[i], at)
+		}
+		at = his[i]
+	}
+	if at != dim {
+		return nil, nil, nil, fmt.Errorf("opt: shards cover %d of %d elements", at, dim)
+	}
+	return master, optM, optV, nil
+}

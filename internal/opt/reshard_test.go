@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// stateFill produces deterministic, position-distinct test tensors so a
+// misplaced element after a cut/join round trip cannot cancel out.
+func stateFill(dim int, salt float32) (master, optM, optV []float32) {
+	master = make([]float32, dim)
+	optM = make([]float32, dim)
+	optV = make([]float32, dim)
+	for i := range master {
+		master[i] = salt + float32(i)*0.25
+		optM[i] = -salt + float32(i)*0.125
+		optV[i] = salt*2 + float32(math.Sin(float64(i)))
+	}
+	return
+}
+
+// TestClippedRange: shard ranges clip at Dim, padding excluded; the
+// trailing shards of a heavily padded layout collapse to empty.
+func TestClippedRange(t *testing.T) {
+	p := NewPartition(3, 4, 8) // Padded 8, ShardLen 2
+	want := [][2]int{{0, 2}, {2, 3}, {3, 3}, {3, 3}}
+	for i, w := range want {
+		lo, hi := p.ClippedRange(i)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("shard %d clipped to [%d, %d), want [%d, %d)", i, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+// TestCutJoinRoundTrip: for every layout a 2–8 rank run can execute —
+// replicated, fully sharded, and hybrid with pad-to-world alignment —
+// cutting canonical state into per-rank shards and rejoining them is
+// the bitwise identity.
+func TestCutJoinRoundTrip(t *testing.T) {
+	for _, dim := range []int{1, 7, 16, 37, 100} {
+		for world := 2; world <= 8; world++ {
+			var parts []Partition
+			parts = append(parts, NewPartition(dim, 1, world))     // replicated
+			parts = append(parts, NewPartition(dim, world, world)) // full shard
+			for g := 2; g < world; g++ {
+				if world%g == 0 { // hybrid: g-way shards, aligned to the world
+					parts = append(parts, NewPartition(dim, g, g*(world/g)))
+				}
+			}
+			for _, p := range parts {
+				master, optM, optV := stateFill(dim, float32(world))
+				shards, err := CutShards(p, master, optM, optV)
+				if err != nil {
+					t.Fatalf("dim %d world %d %+v: cut: %v", dim, world, p, err)
+				}
+				// Reverse the order to prove JoinShards accepts any arrival
+				// order (ranks report asynchronously).
+				for i, j := 0, len(shards)-1; i < j; i, j = i+1, j-1 {
+					shards[i], shards[j] = shards[j], shards[i]
+				}
+				m2, o2, v2, err := JoinShards(shards)
+				if err != nil {
+					t.Fatalf("dim %d world %d %+v: join: %v", dim, world, p, err)
+				}
+				for i := range master {
+					if math.Float32bits(m2[i]) != math.Float32bits(master[i]) ||
+						math.Float32bits(o2[i]) != math.Float32bits(optM[i]) ||
+						math.Float32bits(v2[i]) != math.Float32bits(optV[i]) {
+						t.Fatalf("dim %d world %d %+v: element %d differs after round trip", dim, world, p, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCutShardsCopies: shards stay valid after the source buffers are
+// clobbered.
+func TestCutShardsCopies(t *testing.T) {
+	p := NewPartition(8, 2, 2)
+	master, optM, optV := stateFill(8, 1)
+	shards, err := CutShards(p, master, optM, optV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range master {
+		master[i], optM[i], optV[i] = -1, -1, -1
+	}
+	m2, _, _, err := JoinShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2[3] != 1+3*0.25 {
+		t.Fatalf("shard data aliased the source: got %g", m2[3])
+	}
+}
+
+// TestJoinShardsValidation: every malformed shard set fails with a
+// diagnostic instead of assembling garbage.
+func TestJoinShardsValidation(t *testing.T) {
+	p := NewPartition(10, 4, 4)
+	fresh := func() []StateShard {
+		m, o, v := stateFill(10, 3)
+		s, err := CutShards(p, m, o, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func([]StateShard) []StateShard
+		want   string
+	}{
+		{"empty", func(s []StateShard) []StateShard { return nil }, "empty shard set"},
+		{"missing", func(s []StateShard) []StateShard { return s[:3] }, "3 shards of a 4-shard layout"},
+		{"duplicate", func(s []StateShard) []StateShard { s[1] = s[0]; return s }, "duplicate shard 0"},
+		{"layout mismatch", func(s []StateShard) []StateShard { s[2].Dim = 11; return s }, "declares layout"},
+		{"index out of range", func(s []StateShard) []StateShard { s[2].Index = 9; return s }, "shard index 9 of 4"},
+		{"range out of bounds", func(s []StateShard) []StateShard { s[3].Hi = 99; return s }, "outside [0, 10)"},
+		{"data length", func(s []StateShard) []StateShard { s[1].OptV = s[1].OptV[:1]; return s }, "carries"},
+		{"gap", func(s []StateShard) []StateShard {
+			// Shift shard 1's claimed range: shards still "cover" ten
+			// elements in total but no longer tile [0, Dim).
+			s[1].Lo, s[1].Hi = 4, 5
+			s[1].Master = s[1].Master[:1]
+			s[1].OptM = s[1].OptM[:1]
+			s[1].OptV = s[1].OptV[:1]
+			s[2].Lo = 4
+			s[2].Master = append([]float32{0, 0}, s[2].Master...)
+			s[2].OptM = append([]float32{0, 0}, s[2].OptM...)
+			s[2].OptV = append([]float32{0, 0}, s[2].OptV...)
+			return s
+		}, "starts at"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, _, err := JoinShards(c.mutate(fresh()))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestCutShardsValidation: input buffers must match the partition's
+// unpadded dimension.
+func TestCutShardsValidation(t *testing.T) {
+	p := NewPartition(10, 2, 2)
+	m, o, v := stateFill(9, 1)
+	if _, err := CutShards(p, m, o, v); err == nil {
+		t.Fatal("cut accepted state shorter than the partition")
+	}
+}

@@ -1,8 +1,10 @@
 package train
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 
@@ -88,6 +90,14 @@ type TrainState struct {
 	// micro-batches — a mismatched window would silently resume on a
 	// misaligned mask stream.
 	AccumSteps int
+	// World and Strategy stamp the topology the state was captured
+	// under: the world size and the plan name (fsdp.Plan.Name()). A
+	// resume validates both against the configuration — continuing at a
+	// different world or strategy requires going through Reshard, which
+	// restamps them. Zero values (states from before elasticity
+	// existed) act as wildcards.
+	World    int
+	Strategy string
 	// Master holds the fp32 master weights (for FP32 runs, simply the
 	// parameters). OptM/OptV are the Adam moments; OptStep the shared
 	// bias-correction counter.
@@ -100,19 +110,65 @@ type TrainState struct {
 	ScaleGoodSteps int
 }
 
-const trainStateFormat = "geofm-trainstate-v1"
+// trainStateFormat is the current on-disk format: a checksummed
+// envelope (v2) around the gob-encoded TrainState. v1 wrote the bare
+// TrainState gob; its Format field decodes into the envelope by field
+// name, so a v1 stream is recognized and rejected with a clear
+// format error rather than misread.
+const trainStateFormat = "geofm-trainstate-v2"
 
-// SaveTrainState writes a resumable training state to w.
+// stateEnvelope is the on-disk frame of a train state: the payload is
+// the gob-encoded TrainState and Checksum is its FNV-64a hash, so a
+// truncated or bit-flipped checkpoint file fails LoadTrainState with a
+// clear error instead of a gob panic or silently corrupted state.
+type stateEnvelope struct {
+	Format   string
+	Checksum uint64
+	Payload  []byte
+}
+
+func stateChecksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// SaveTrainState writes a resumable training state to w: the state's
+// gob encoding wrapped in a checksummed envelope (format version
+// geofm-trainstate-v2).
 func SaveTrainState(w io.Writer, st *TrainState) error {
 	cp := *st
 	cp.Format = trainStateFormat
-	return gob.NewEncoder(w).Encode(cp)
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(cp); err != nil {
+		return fmt.Errorf("train: encoding train state: %w", err)
+	}
+	env := stateEnvelope{
+		Format:   trainStateFormat,
+		Checksum: stateChecksum(body.Bytes()),
+		Payload:  body.Bytes(),
+	}
+	return gob.NewEncoder(w).Encode(env)
 }
 
-// LoadTrainState reads a training state written by SaveTrainState.
+// LoadTrainState reads a training state written by SaveTrainState,
+// verifying the envelope's format version and payload checksum before
+// decoding: truncation and bit flips fail here with a clear error, not
+// downstream as garbage state.
 func LoadTrainState(r io.Reader) (*TrainState, error) {
+	var env stateEnvelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("train: decoding train-state envelope (truncated or not a train state): %w", err)
+	}
+	if env.Format != trainStateFormat {
+		return nil, fmt.Errorf("train: unknown train-state format %q (want %q)", env.Format, trainStateFormat)
+	}
+	if got := stateChecksum(env.Payload); got != env.Checksum {
+		return nil, fmt.Errorf("train: train-state checksum mismatch (%#016x, envelope says %#016x): corrupted checkpoint",
+			got, env.Checksum)
+	}
 	var st TrainState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("train: decoding train state: %w", err)
 	}
 	if st.Format != trainStateFormat {
@@ -123,6 +179,16 @@ func LoadTrainState(r io.Reader) (*TrainState, error) {
 			len(st.OptM), len(st.OptV), len(st.Master))
 	}
 	return &st, nil
+}
+
+// clone deep-copies the state (the tensors included), so a checkpoint
+// snapshot stays frozen while training mutates the live buffers.
+func (st *TrainState) clone() *TrainState {
+	cp := *st
+	cp.Master = append([]float32(nil), st.Master...)
+	cp.OptM = append([]float32(nil), st.OptM...)
+	cp.OptV = append([]float32(nil), st.OptV...)
+	return &cp
 }
 
 // SaveTrainStateFile writes a training state to path (atomically via a

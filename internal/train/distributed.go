@@ -106,6 +106,26 @@ type DistConfig struct {
 	// cfg.Epochs, so the returned State resumes the remainder of the
 	// same run — the checkpoint/restart pattern.
 	StopAfterEpoch int
+	// CheckpointEvery captures a TrainState snapshot after every epoch
+	// whose 1-based number divides by it (0 disables) and hands it to
+	// OnCheckpoint. The final epoch is not re-captured —
+	// DistResult.State already is that snapshot. Checkpointing is
+	// collective-free (two barriers, no ring traffic), so it does not
+	// shift the Fault plan's collective indices.
+	CheckpointEvery int
+	// OnCheckpoint receives each periodic snapshot (an independent deep
+	// copy, stamped like DistResult.State) together with the wall-clock
+	// cost of capturing it. Called on rank 0's goroutine while the other
+	// ranks wait at a barrier; nil discards the snapshots.
+	OnCheckpoint func(st *TrainState, captureWall time.Duration)
+	// Fault arms dist.Options.Fault: the planned rank death that
+	// exercises the abort machinery deterministically (see
+	// dist.FaultPlan). The run returns an error wrapping
+	// dist.ErrInjectedFault; PretrainElastic catches it and resumes.
+	Fault dist.FaultPlan
+	// ThrottleSkew arms dist.Options.ThrottleSkew: per-rank multipliers
+	// on Throttle realizing stragglers (requires Throttle > 0).
+	ThrottleSkew map[int]float64
 	// Link is the α–β link model used to price each executed collective
 	// (dist.Stats measured vs modeled). Zero defaults to
 	// dist.DefaultLink(Ranks).
@@ -135,6 +155,11 @@ type DistResult struct {
 	// rank actually sent around the ring, and the α–β model's
 	// prediction for the same calls.
 	Comm dist.Stats
+	// CollectiveCalls is how many collectives rank 0 entered over the
+	// run — the sequence a DistConfig.Fault Call indexes into. Probe an
+	// uninterrupted run's count to aim a fault at a chosen fraction of
+	// the schedule (the ranks' counts are symmetric in every strategy).
+	CollectiveCalls int64
 	// Traffic is fsdp.TrafficPerStep for this plan/world/model at this
 	// precision's wire width — the per-step wire bytes the Section IV
 	// simulator charges *per optimizer step* (gradient accumulation
@@ -304,7 +329,29 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 			return nil, fmt.Errorf("train: resume state captured with AccumSteps %d, configuration has %d",
 				stAccum, accum)
 		}
+		// Topology stamps: a state sharded for another world or strategy
+		// must go through Reshard (which restamps it) before resuming.
+		// Zero stamps — states predating elasticity — act as wildcards.
+		if resume.World != 0 && resume.World != cfg.Ranks {
+			return nil, fmt.Errorf("train: resume state captured at world %d, configuration has %d ranks — re-shard it first (train.Reshard)",
+				resume.World, cfg.Ranks)
+		}
+		if resume.Strategy != "" && resume.Strategy != plan.Name() {
+			return nil, fmt.Errorf("train: resume state captured under %s, configuration runs %s — re-shard it first (train.Reshard)",
+				resume.Strategy, plan.Name())
+		}
 		startEpoch = resume.Epoch
+	}
+	if cfg.Fault.Armed() && (cfg.Fault.Rank < 0 || cfg.Fault.Rank >= cfg.Ranks) {
+		return nil, fmt.Errorf("train: fault plan targets rank %d of a %d-rank world", cfg.Fault.Rank, cfg.Ranks)
+	}
+	for rk, s := range cfg.ThrottleSkew {
+		if rk < 0 || rk >= cfg.Ranks {
+			return nil, fmt.Errorf("train: throttle skew targets rank %d of a %d-rank world", rk, cfg.Ranks)
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("train: non-positive throttle skew %g for rank %d", s, rk)
+		}
 	}
 	lastEpoch := cfg.Epochs
 	if cfg.StopAfterEpoch > 0 && cfg.StopAfterEpoch < cfg.Epochs {
@@ -321,7 +368,12 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		TotalSteps:  cfg.Epochs * stepsPerEpoch,
 	}
 
-	world := dist.New(n, dist.Options{Link: cfg.Link, Throttle: cfg.Throttle})
+	world := dist.New(n, dist.Options{
+		Link:         cfg.Link,
+		Throttle:     cfg.Throttle,
+		ThrottleSkew: cfg.ThrottleSkew,
+		Fault:        cfg.Fault,
+	})
 	res := &DistResult{Ranks: n, Precision: cfg.Precision}
 	res.LossCurve.Name = cfg.MAE.Encoder.Name + " pretrain loss"
 	res.EpochLoss.Name = cfg.MAE.Encoder.Name + " epoch loss"
@@ -364,15 +416,16 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		var (
 			gradGroup *dist.Group // gradient-bucket collectives (world for replicated, shard group otherwise)
 			replGroup *dist.Group // HYBRID gradient all-reduce across shard groups
-			part      opt.Partition
 		)
+		part, err := partitionFor(plan, n, dim)
+		if err != nil {
+			return err
+		}
 		switch mode {
 		case execReplicated:
-			part = opt.NewPartition(dim, 1, n)
 			gradGroup = world.Subgroup(allRanks)
 		default:
 			repl := n / group
-			part = opt.NewPartition(dim, group, group*repl)
 			// Shard groups are consecutive rank blocks (the paper's
 			// intra-node placement); replica groups stride across them.
 			first := r.ID() / group * group
@@ -492,6 +545,52 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 		} else if resume != nil {
 			optim.ImportMoments(resume.OptM, resume.OptV)
 			optim.SetStep(resume.OptStep)
+		}
+
+		// captureState writes this rank's share of the canonical flat
+		// training state into st: rank 0 alone for the replicated modes,
+		// the first shard block's disjoint clipped shards otherwise. The
+		// caller separates these writes from rank 0's read (end of run:
+		// Run's join; mid-run checkpoints: an explicit barrier).
+		captureState := func() {
+			switch {
+			case optim != nil: // FP32 replicated
+				if r.ID() == 0 {
+					opt.PackValues(st.Master, params)
+					optim.ExportMoments(st.OptM, st.OptV)
+					st.OptStep = optim.StepCount()
+				}
+			case r.ID() < part.Shards:
+				if bf16 {
+					scatterSpansClipped(st.Master, master, ownSpans, dim)
+				} else {
+					gatherSpansClipped(wBuf, flatW, ownSpans, dim)
+					scatterSpansClipped(st.Master, wBuf, ownSpans, dim)
+				}
+				mLoc := make([]float32, ownLen)
+				vLoc := make([]float32, ownLen)
+				shardOpt.CopyMoments(mLoc, vLoc)
+				scatterSpansClipped(st.OptM, mLoc, ownSpans, dim)
+				scatterSpansClipped(st.OptV, vLoc, ownSpans, dim)
+				if r.ID() == 0 {
+					st.OptStep = shardOpt.StepCount()
+				}
+			}
+		}
+		// stampState fills the scalar fields only rank 0 owns: the
+		// progress counters, numeric mode, topology stamps and the
+		// loss-scaler freeze.
+		stampState := func(stepNow, epochsDone int) {
+			st.Step = stepNow
+			st.Epoch = epochsDone
+			st.Precision = cfg.Precision
+			st.AccumSteps = accum
+			st.World = n
+			st.Strategy = plan.Name()
+			if scaler != nil {
+				st.LossScale = scaler.Scale
+				st.ScaleGoodSteps = scaler.GoodSteps()
+			}
 		}
 
 		gen := ds.Gen
@@ -683,35 +782,31 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 						epoch+1, cfg.Epochs, epochLoss.Mean(), sched.LR(step-1), n, plan.Name(), cfg.Precision)
 				}
 			}
+			// Periodic checkpoint at the epoch boundary: all ranks write
+			// their state shards, a barrier orders the writes before
+			// rank 0 snapshots, a second barrier holds the next epoch's
+			// writes back until the snapshot is taken. No collectives —
+			// the fault plan's indices are checkpoint-invariant.
+			if ce := cfg.CheckpointEvery; ce > 0 && (epoch+1)%ce == 0 && epoch+1 < lastEpoch {
+				ckStart := time.Now()
+				captureState()
+				r.Barrier()
+				if r.ID() == 0 {
+					stampState(step, epoch+1)
+					if cfg.OnCheckpoint != nil {
+						cfg.OnCheckpoint(st.clone(), time.Since(ckStart))
+					}
+				}
+				r.Barrier()
+			}
 		}
 
 		// Capture the end-of-run training state: the ranks of the first
 		// shard block hold disjoint fp32 master/moment shards covering
 		// the whole flat space (for the replicated modes that block is
-		// rank 0 alone).
-		switch {
-		case optim != nil: // FP32 replicated
-			if r.ID() == 0 {
-				opt.PackValues(st.Master, params)
-				optim.ExportMoments(st.OptM, st.OptV)
-				st.OptStep = optim.StepCount()
-			}
-		case r.ID() < part.Shards:
-			if bf16 {
-				scatterSpansClipped(st.Master, master, ownSpans, dim)
-			} else {
-				gatherSpansClipped(wBuf, flatW, ownSpans, dim)
-				scatterSpansClipped(st.Master, wBuf, ownSpans, dim)
-			}
-			mLoc := make([]float32, ownLen)
-			vLoc := make([]float32, ownLen)
-			shardOpt.CopyMoments(mLoc, vLoc)
-			scatterSpansClipped(st.OptM, mLoc, ownSpans, dim)
-			scatterSpansClipped(st.OptV, vLoc, ownSpans, dim)
-			if r.ID() == 0 {
-				st.OptStep = shardOpt.StepCount()
-			}
-		}
+		// rank 0 alone). Run's join orders the writes before the caller
+		// reads st.
+		captureState()
 		if r.ID() == 0 {
 			res.Steps = step - startEpoch*stepsPerEpoch
 			// One source of truth for the decomposition (incl. the
@@ -720,13 +815,8 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 			res.WallSec = b.WallSec
 			res.ExposedCommSec = b.ExposedCommSec
 			res.ComputeSec = b.ComputeSec
-			st.Step = step
-			st.Epoch = lastEpoch
-			st.Precision = cfg.Precision
-			st.AccumSteps = accum
+			stampState(step, lastEpoch)
 			if scaler != nil {
-				st.LossScale = scaler.Scale
-				st.ScaleGoodSteps = scaler.GoodSteps()
 				res.FinalLossScale = scaler.Scale
 				res.ScaleBackoffs = scaler.Backoffs()
 				res.SkippedSteps = scaler.Skipped()
@@ -741,6 +831,7 @@ func PretrainDistributed(cfg DistConfig, ds *geodata.Dataset) (*DistResult, erro
 	res.Model = models[0]
 	res.replicas = models
 	res.Comm = world.Stats()
+	res.CollectiveCalls = world.CollectiveCalls(0)
 	res.Traffic = fsdp.TrafficPerStep(plan, n, opt.FlatDim(models[0].Params()), cfg.Precision.WireBytes())
 	res.State = st
 	elapsed := time.Since(start).Seconds()

@@ -1,0 +1,169 @@
+package train
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fsdp"
+)
+
+// syntheticState builds a stamped TrainState with position-distinct
+// tensors, as if captured by a run at the given topology.
+func syntheticState(dim, world int, plan fsdp.Plan) *TrainState {
+	st := &TrainState{
+		Step: 12, Epoch: 3, Precision: FP32, AccumSteps: 1,
+		World: world, Strategy: plan.Name(),
+		Master:  make([]float32, dim),
+		OptM:    make([]float32, dim),
+		OptV:    make([]float32, dim),
+		OptStep: 12,
+	}
+	for i := range st.Master {
+		st.Master[i] = 1 + float32(i)*0.5
+		st.OptM[i] = -2 + float32(i)*0.25
+		st.OptV[i] = float32(math.Exp(float64(i % 13)))
+	}
+	return st
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReshardRoundTrip: re-sharding N→M→N across every strategy pair —
+// replicated, zero1, full shard, and hybrid including uneven
+// factorizations (group 2 of world 6, group 3 of world 6, …) — returns
+// the original tensors bitwise, with the topology stamps following each
+// hop.
+func TestReshardRoundTrip(t *testing.T) {
+	planFor := func(name string, world int) fsdp.Plan {
+		switch name {
+		case "ddp":
+			return fsdp.DefaultDDP()
+		case "zero1":
+			return fsdp.BestPractice(fsdp.ShardGradOp, 0)
+		case "full":
+			return fsdp.BestPractice(fsdp.FullShard, 0)
+		default: // "hybrid:k"
+			k := int(name[len(name)-1] - '0')
+			return fsdp.BestPractice(fsdp.HybridShard, k)
+		}
+	}
+	type topo struct {
+		world int
+		plan  string
+	}
+	cases := []struct{ from, to topo }{
+		{topo{4, "ddp"}, topo{2, "ddp"}},
+		{topo{4, "zero1"}, topo{2, "zero1"}},
+		{topo{4, "full"}, topo{2, "full"}},
+		{topo{4, "hybrid:2"}, topo{2, "hybrid:2"}},
+		{topo{8, "hybrid:4"}, topo{6, "hybrid:2"}},
+		{topo{6, "hybrid:3"}, topo{6, "hybrid:2"}},
+		{topo{8, "full"}, topo{3, "zero1"}},
+		{topo{7, "zero1"}, topo{5, "full"}},
+		{topo{2, "ddp"}, topo{8, "hybrid:2"}},
+		{topo{6, "hybrid:2"}, topo{4, "ddp"}},
+	}
+	for _, dim := range []int{37, 256} {
+		for _, c := range cases {
+			fromPlan := planFor(c.from.plan, c.from.world)
+			toPlan := planFor(c.to.plan, c.to.world)
+			orig := syntheticState(dim, c.from.world, fromPlan)
+			mid, err := Reshard(orig, c.to.world, toPlan)
+			if err != nil {
+				t.Fatalf("dim %d %v→%v: %v", dim, c.from, c.to, err)
+			}
+			if mid.World != c.to.world || mid.Strategy != toPlan.Name() {
+				t.Fatalf("dim %d %v→%v: stamped %d/%s", dim, c.from, c.to, mid.World, mid.Strategy)
+			}
+			if mid.Step != orig.Step || mid.Epoch != orig.Epoch || mid.OptStep != orig.OptStep {
+				t.Fatalf("dim %d %v→%v: progress counters changed", dim, c.from, c.to)
+			}
+			back, err := Reshard(mid, c.from.world, fromPlan)
+			if err != nil {
+				t.Fatalf("dim %d %v→%v return: %v", dim, c.from, c.to, err)
+			}
+			if !bitsEqual(back.Master, orig.Master) || !bitsEqual(back.OptM, orig.OptM) || !bitsEqual(back.OptV, orig.OptV) {
+				t.Fatalf("dim %d %v→%v→back: tensors differ", dim, c.from, c.to)
+			}
+			if back.World != c.from.world || back.Strategy != fromPlan.Name() {
+				t.Fatalf("dim %d round trip stamped %d/%s", dim, back.World, back.Strategy)
+			}
+			// Reshard must not mutate its input.
+			if orig.World != c.from.world || orig.Strategy != fromPlan.Name() {
+				t.Fatalf("dim %d %v→%v: input state mutated", dim, c.from, c.to)
+			}
+		}
+	}
+}
+
+// TestReshardWildcardStamps: a state predating topology stamps (World
+// 0) re-shards by restamping alone — the tensors are already canonical.
+func TestReshardWildcardStamps(t *testing.T) {
+	st := syntheticState(64, 0, fsdp.DefaultDDP())
+	st.World, st.Strategy = 0, ""
+	out, err := Reshard(st, 4, fsdp.BestPractice(fsdp.HybridShard, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.World != 4 || out.Strategy != "HYBRID_2GPUs" {
+		t.Fatalf("stamped %d/%s", out.World, out.Strategy)
+	}
+	if !bitsEqual(out.Master, st.Master) {
+		t.Fatal("tensors changed under a wildcard reshard")
+	}
+}
+
+// TestReshardZeroPlanDefaults: the zero plan re-shards to the DDP
+// default, mirroring PretrainDistributed's plan normalization.
+func TestReshardZeroPlanDefaults(t *testing.T) {
+	st := syntheticState(16, 2, fsdp.DefaultDDP())
+	out, err := Reshard(st, 2, fsdp.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy != "DDP" {
+		t.Fatalf("zero plan stamped %q", out.Strategy)
+	}
+}
+
+// TestReshardValidation: impossible targets and corrupted states fail
+// with diagnostics before any data moves.
+func TestReshardValidation(t *testing.T) {
+	check := func(name string, _ *TrainState, err error, want string) {
+		t.Helper()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, want)
+		}
+	}
+
+	_, err := Reshard(nil, 2, fsdp.Plan{})
+	check("nil state", nil, err, "nil state")
+
+	st := syntheticState(16, 4, fsdp.DefaultDDP())
+	st.OptV = st.OptV[:8]
+	_, err = Reshard(st, 2, fsdp.Plan{})
+	check("moment mismatch", st, err, "do not match master")
+
+	st = syntheticState(16, 4, fsdp.DefaultDDP())
+	st.Strategy = "ZEBRA"
+	_, err = Reshard(st, 2, fsdp.Plan{})
+	check("unknown stamp", st, err, "unknown plan name")
+
+	st = syntheticState(16, 4, fsdp.DefaultDDP())
+	_, err = Reshard(st, 4, fsdp.BestPractice(fsdp.HybridShard, 3))
+	check("indivisible hybrid", st, err, "not divisible")
+
+	_, err = Reshard(st, 0, fsdp.Plan{})
+	check("non-positive world", st, err, "non-positive rank count")
+}

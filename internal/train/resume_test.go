@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/fsdp"
@@ -175,6 +177,54 @@ func TestTrainStateRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestTrainStateCorruptionDetected: the checksummed envelope turns the
+// two silent on-disk failure modes — truncation and bit flips — into
+// clean LoadTrainState errors. (The atomic temp-file rename already
+// prevents truncation by crash; this covers the storage layer.)
+func TestTrainStateCorruptionDetected(t *testing.T) {
+	cfg := tinyDistConfig(2, fsdp.DefaultDDP())
+	cfg.Epochs = 2
+	cfg.StopAfterEpoch = 1
+	res, err := PretrainDistributed(cfg, tinyDataset(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := SaveTrainStateFile(path, res.State); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation at any depth — mid-envelope and mid-payload.
+	for _, keep := range []int{1, len(blob) / 4, len(blob) - 1} {
+		if _, err := LoadTrainState(bytes.NewReader(blob[:keep])); err == nil {
+			t.Errorf("state truncated to %d/%d bytes accepted", keep, len(blob))
+		}
+	}
+
+	// A single flipped bit deep in the tensor payload. Without the
+	// checksum gob would decode this into silently wrong weights; the
+	// envelope must reject it, naming the corruption.
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x10
+	_, err = LoadTrainState(bytes.NewReader(flipped))
+	if err == nil {
+		t.Fatal("bit-flipped state accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "checksum") &&
+		!strings.Contains(err.Error(), "decoding") {
+		t.Errorf("corruption error does not explain itself: %v", err)
+	}
+
+	// The pristine file still loads.
+	if _, err := LoadTrainState(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("pristine state rejected: %v", err)
+	}
+}
+
 // TestResumeValidation: resume states that cannot continue this
 // configuration are rejected before any rank spawns (or at rank init
 // for shape mismatches).
@@ -245,6 +295,56 @@ func TestResumeValidation(t *testing.T) {
 	// unaccumulated run.
 	if st.AccumSteps != 1 {
 		t.Errorf("captured state AccumSteps = %d, want 1", st.AccumSteps)
+	}
+	// Topology stamps: a state sharded for another world or strategy
+	// must be rejected with a pointer at Reshard, naming both sides.
+	if st.World != 2 || st.Strategy != "DDP" {
+		t.Fatalf("captured state stamped %d/%q, want 2/DDP", st.World, st.Strategy)
+	}
+	c = cfg
+	c.StopAfterEpoch = 0
+	c.Ranks = 4
+	c.BatchSize = 8
+	c.Resume = st
+	_, err = PretrainDistributed(c, tinyDataset(32))
+	if err == nil {
+		t.Error("state captured at world 2 accepted at world 4")
+	} else if !strings.Contains(err.Error(), "world 2") || !strings.Contains(err.Error(), "4 ranks") ||
+		!strings.Contains(err.Error(), "Reshard") {
+		t.Errorf("world-mismatch error does not name both sides and the fix: %v", err)
+	}
+	c = cfg
+	c.StopAfterEpoch = 0
+	c.Plan = fsdp.BestPractice(fsdp.FullShard, 0)
+	c.Resume = st
+	_, err = PretrainDistributed(c, tinyDataset(32))
+	if err == nil {
+		t.Error("DDP-captured state accepted under FULL_SHARD")
+	} else if !strings.Contains(err.Error(), "DDP") || !strings.Contains(err.Error(), "FULL_SHARD") ||
+		!strings.Contains(err.Error(), "Reshard") {
+		t.Errorf("strategy-mismatch error does not name both sides and the fix: %v", err)
+	}
+	// Zero stamps — states from before elasticity — act as wildcards.
+	wild := *st
+	wild.World, wild.Strategy = 0, ""
+	c = cfg
+	c.StopAfterEpoch = 0
+	c.Resume = &wild
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err != nil {
+		t.Errorf("wildcard-stamped state rejected: %v", err)
+	}
+	// After Reshard the same state resumes at the new topology.
+	resharded, err := Reshard(st, 4, fsdp.DefaultDDP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = cfg
+	c.StopAfterEpoch = 0
+	c.Ranks = 4
+	c.BatchSize = 8
+	c.Resume = resharded
+	if _, err := PretrainDistributed(c, tinyDataset(32)); err != nil {
+		t.Errorf("re-sharded state rejected at its new topology: %v", err)
 	}
 }
 
