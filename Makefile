@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-all race docs bench bench-dist
+.PHONY: build vet test test-all race docs bench bench-dist calibrate
 
 build:
 	$(GO) build ./...
@@ -44,3 +44,15 @@ bench-dist:
 	$(GO) run ./tools/benchjson < bench_dist.out > BENCH_dist.json
 	@rm -f bench_dist.out
 	@echo "wrote BENCH_dist.json"
+
+# Calibration: measure this host (GEMM roofline, STREAM, collective α–β
+# sweeps, train probe) into hwprofile.json, then run the executed
+# simulator-validation matrix once and record the agreement statistics
+# into BENCH_calib.json. Not part of tier-1 — it times real runs.
+calibrate:
+	$(GO) run ./cmd/calibrate -quick -out hwprofile.json
+	$(GO) test -bench CalibValidate -run NONE -benchtime 1x ./internal/calib/ > bench_calib.out
+	@cat bench_calib.out
+	$(GO) run ./tools/benchjson < bench_calib.out > BENCH_calib.json
+	@rm -f bench_calib.out
+	@echo "wrote hwprofile.json and BENCH_calib.json"

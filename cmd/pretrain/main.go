@@ -60,6 +60,7 @@ func main() {
 	precision := flag.String("precision", "fp32", "numeric mode: "+acceptedPrecisions)
 	overlap := flag.Bool("overlap", false, "launch gradient buckets during backward (communication-computation overlap; bitwise identical to the synchronous path)")
 	accum := flag.Int("accum", 1, "gradient-accumulation micro-steps per optimizer step (effective batch = -batch × -accum)")
+	profile := flag.String("profile", "", "hardware profile (hwprofile.json from cmd/calibrate); prices executed collectives with this host's measured α–β link instead of the default")
 	out := flag.String("out", "", "checkpoint output path (optional)")
 	flag.Parse()
 
@@ -92,12 +93,22 @@ func main() {
 		fatal(err)
 	}
 
+	var link geofm.CommParams
+	if *profile != "" {
+		link, err = calibratedLink(*profile, prec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("calibrated link: %.1f MiB/s, launch %.1fµs (%s)\n",
+			link.Bandwidth/(1<<20), link.Launch*1e6, *profile)
+	}
+
 	var res *geofm.PretrainResult
 	// BF16 is implemented by the distributed executor (master weights,
 	// loss scaling, bf16 wire), so it routes through it even at 1 rank.
 	if *ranks > 1 || prec == geofm.BF16 || *overlap || *accum > 1 {
 		dcfg := geofm.DistPretrainConfig{PretrainConfig: cfg, Ranks: *ranks, Plan: plan,
-			Precision: prec, Overlap: *overlap, AccumSteps: *accum}
+			Precision: prec, Overlap: *overlap, AccumSteps: *accum, Link: link}
 		fmt.Printf("executing %d ranks, %s, %s, local batch %d, accum %d, overlap %v\n",
 			*ranks, plan.Name(), prec, *batch / *ranks, max(*accum, 1), *overlap)
 		dres, err := geofm.PretrainDistributed(dcfg, suite.Pretrain)
@@ -161,6 +172,21 @@ func parsePlan(s string) (geofm.Plan, error) {
 	default:
 		return geofm.Plan{}, fmt.Errorf("unknown -strategy %q (want %s)", s, acceptedStrategies)
 	}
+}
+
+// calibratedLink loads a hardware profile and selects the pooled α–β
+// link for the run's wire dtype, so the report's "model" columns price
+// collectives with this host's measurement instead of the default.
+func calibratedLink(path string, prec geofm.Precision) (geofm.CommParams, error) {
+	p, err := geofm.LoadHardwareProfile(path)
+	if err != nil {
+		return geofm.CommParams{}, err
+	}
+	dtype := "fp32"
+	if prec == geofm.BF16 {
+		dtype = "bf16"
+	}
+	return p.LinkParams(dtype)
 }
 
 // writeComm reports each collective's executed traffic next to the α–β

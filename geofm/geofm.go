@@ -20,6 +20,7 @@ package geofm
 import (
 	"fmt"
 
+	"repro/internal/calib"
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/fsdp"
@@ -145,6 +146,18 @@ type CommOpStats = dist.OpStats
 
 // CommParams bundles link characteristics for the α–β cost model.
 type CommParams = comm.Params
+
+// HardwareProfile is a measured performance profile of one host — GEMM
+// roofline, STREAM bandwidth, collective α–β fits, executed train-step
+// probe — as emitted by `make calibrate` / cmd/calibrate. Its
+// LinkParams feed DistPretrainConfig.Link and its MachineFor replaces
+// the asserted Frontier constants in Simulate.
+type HardwareProfile = calib.HardwareProfile
+
+// LoadHardwareProfile reads and verifies a checksummed hwprofile.json.
+func LoadHardwareProfile(path string) (*HardwareProfile, error) {
+	return calib.LoadProfileFile(path)
+}
 
 // Precision selects the numeric mode of an executed distributed run:
 // FP32, or the BF16 mixed-precision recipe the paper trains with (bf16

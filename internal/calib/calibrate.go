@@ -1,0 +1,69 @@
+package calib
+
+import (
+	"time"
+
+	"repro/internal/hw"
+)
+
+// Options configures a measurement run.
+type Options struct {
+	// Ranks is the collective-sweep world size (default 4 — the size
+	// the validation matrix executes at).
+	Ranks int
+	// Quick trades sweep coverage for runtime: the smoke mode CI uses.
+	Quick bool
+	// Now stamps HardwareProfile.CreatedUnix; zero leaves the stamp to
+	// the caller (tests pass a fixed stamp for reproducible envelopes).
+	Now time.Time
+}
+
+// Measure runs the three instruments and assembles the profile:
+// GEMM roofline, STREAM bandwidth, collective α–β sweeps.
+func Measure(opts Options) (*HardwareProfile, error) {
+	if opts.Ranks == 0 {
+		opts.Ranks = 4
+	}
+	shapes := DefaultGEMMShapes()
+	gemmWindow := 200 * time.Millisecond
+	streamElems := 1 << 24 // 64 MiB per array: past any LLC
+	streamReps := 10
+	sizes := DefaultCollectiveSizes()
+	reps, windows := 50, 5
+	probeSteps := 6
+	contentionWindow := 500 * time.Millisecond
+	if opts.Quick {
+		shapes = QuickGEMMShapes()
+		gemmWindow = 25 * time.Millisecond
+		streamElems = 1 << 22
+		streamReps = 3
+		sizes = QuickCollectiveSizes()
+		reps, windows = 10, 3
+		probeSteps = 3
+		contentionWindow = 150 * time.Millisecond
+	}
+
+	p := &HardwareProfile{
+		Host:  hw.Detect(),
+		Ranks: opts.Ranks,
+	}
+	if !opts.Now.IsZero() {
+		p.CreatedUnix = opts.Now.Unix()
+	}
+	p.GEMM = MeasureRoofline(shapes, gemmWindow)
+	p.Stream = MeasureStream(streamElems, streamReps)
+	fits, err := MeasureCollectives(opts.Ranks, sizes, reps, windows)
+	if err != nil {
+		return nil, err
+	}
+	p.Collectives = fits
+	p.Probe, err = MeasureTrainProbe(probeSteps)
+	if err != nil {
+		return nil, err
+	}
+	p.Contention = MeasureContention(opts.Ranks, contentionWindow)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

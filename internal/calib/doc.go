@@ -1,0 +1,40 @@
+// Package calib measures the host this repository actually runs on and
+// closes the loop between its two performance worlds: the *asserted*
+// Frontier model (hw.Frontier + fsdp.Simulate's calibration constants,
+// which reproduce the paper's published figures) and the *executed*
+// in-process training runs (train.PretrainDistributed over dist's
+// goroutine ranks, whose wall-clock is real).
+//
+// Five instruments produce a versioned HardwareProfile:
+//
+//   - a GEMM roofline sweep over the repository's own blocked kernels
+//     (the BENCH_gemm shapes plus small cubes), yielding peak GFLOP/s
+//     and an achieved-throughput curve over the characteristic GEMM
+//     dimension ∛(m·k·n) — the measured MFU curve;
+//   - a STREAM-style memory probe (copy/scale/triad over the parallel
+//     worker pool), yielding the host bandwidth that prices
+//     optimizer-step traffic;
+//   - message-size sweeps of the executed ring collectives (all-reduce,
+//     reduce-scatter, all-gather; fp32 and bf16 wires), least-squares
+//     fitted to the α–β model t = α + β·V;
+//   - an executed single-rank train-step probe (MeasureTrainProbe),
+//     anchoring the compute term at the level of a real step —
+//     attention/backward shapes, elementwise kernels, the optimizer and
+//     the input pipeline, which a pure-GEMM sweep cannot see;
+//   - a core-contention probe (MeasureContention): the per-stream GEMM
+//     slowdown when the validation world's ranks timeshare the host.
+//
+// HardwareProfile.MachineFor turns a profile into an hw.Machine with
+// Calibrated=true, which fsdp.Simulate prices without the
+// Frontier-specific fudge constants; comm.ParamsFromAlphaBeta turns a
+// fit into the link model dist throttles against. With no profile
+// loaded every consumer keeps its asserted defaults, so the published
+// Frontier-figure path is untouched.
+//
+// Validate then runs the executed strategy × precision × overlap
+// matrix for a few short steps on a congestion-scaled calibrated link
+// and compares each run's measured trace.ExecBreakdown against the
+// calibrated simulator's prediction of the same step, asserting
+// agreement within the stated tolerance factors — the CI-checkable
+// evidence that the simulator's schedule model tracks execution.
+package calib

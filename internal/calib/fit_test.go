@@ -1,0 +1,89 @@
+package calib
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestFitRecoversKnownLine: exact synthetic sweeps recover α and β to
+// float precision.
+func TestFitRecoversKnownLine(t *testing.T) {
+	xs := []float64{1e3, 4e3, 16e3, 64e3, 256e3}
+	const alpha, beta = 35e-6, 2.5e-9
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = alpha + beta*x
+	}
+	a, b, err := FitAlphaBeta(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-alpha) > 1e-12 || math.Abs(b-beta)/beta > 1e-12 {
+		t.Fatalf("fit (%v, %v), want (%v, %v)", a, b, alpha, beta)
+	}
+}
+
+// TestFitPropertyNoisyRecovery: across random ground-truth lines with
+// multiplicative noise, the fit recovers β within the noise scale and
+// never returns NaN.
+func TestFitPropertyNoisyRecovery(t *testing.T) {
+	g := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		alpha := 1e-6 + 1e-4*g.Float64()
+		beta := math.Pow(10, -10+2*g.Float64()) // 1e-10 .. 1e-8 s/B
+		xs := []float64{1e3, 2e3, 8e3, 32e3, 128e3, 512e3, 2048e3}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			noise := 1 + 0.03*g.NormFloat64()
+			if noise < 0.5 {
+				noise = 0.5
+			}
+			ys[i] = (alpha + beta*x) * noise
+		}
+		a, b, err := FitAlphaBeta(xs, ys)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			t.Fatalf("trial %d: non-finite fit (%v, %v)", trial, a, b)
+		}
+		// β is dominated by the large-message points, where 3%
+		// multiplicative noise perturbs the slope by a few percent.
+		if rel := math.Abs(b-beta) / beta; rel > 0.25 {
+			t.Fatalf("trial %d: β off by %.0f%% (%v vs %v)", trial, 100*rel, b, beta)
+		}
+	}
+}
+
+// TestFitDegenerateSweepsError: every malformed sweep fails with its
+// named error and never yields NaN constants.
+func TestFitDegenerateSweepsError(t *testing.T) {
+	cases := []struct {
+		name    string
+		xs, ys  []float64
+		wantErr error
+	}{
+		{"mismatched", []float64{1, 2}, []float64{1}, ErrSweepShape},
+		{"too-short", []float64{1e3}, []float64{1e-5}, ErrSweepTooShort},
+		{"empty", nil, nil, ErrSweepTooShort},
+		{"no-spread", []float64{4e3, 4e3, 4e3}, []float64{1e-5, 2e-5, 3e-5}, ErrSweepDegenerate},
+		{"zero-time", []float64{1e3, 2e3}, []float64{1e-5, 0}, ErrSweepNonPositive},
+		{"negative-size", []float64{-1e3, 2e3}, []float64{1e-5, 2e-5}, ErrSweepNonPositive},
+		{"nan-time", []float64{1e3, 2e3}, []float64{1e-5, math.NaN()}, ErrSweepNonPositive},
+		{"shrinking-time", []float64{1e3, 1024e3}, []float64{1e-3, 1e-6}, ErrFitNonPhysical},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, b, err := FitAlphaBeta(c.xs, c.ys)
+			if !errors.Is(err, c.wantErr) {
+				t.Fatalf("error %v, want %v", err, c.wantErr)
+			}
+			if math.IsNaN(a) || math.IsNaN(b) {
+				t.Fatalf("degenerate sweep leaked NaN (%v, %v)", a, b)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package calib
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fsdp"
+	"repro/internal/mae"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/vit"
+)
+
+// TrainProbe anchors the performance model's compute term with an
+// *executed* measurement: one short single-rank, communication-free
+// training run of the reference model, reduced to achieved FLOP/s
+// (model FLOPs per optimizer step — the same perfmodel accounting the
+// simulator prices — over measured wall per step). The ratio of this
+// to the GEMM roofline at the same operating point is the host's
+// measured training discount: everything a pure-GEMM sweep cannot see
+// (attention/backward shapes, elementwise kernels, the optimizer, the
+// input pipeline). MachineFor applies that discount to the roofline
+// curve, so calibrated compute predictions inherit the shape of the
+// MFU curve and the level of an executed step.
+type TrainProbe struct {
+	// Dim is the probe workload's characteristic GEMM dimension — the
+	// roofline operating point the discount is computed against.
+	Dim float64
+	// EffFLOPS is modeled step FLOPs / measured step seconds.
+	EffFLOPS float64
+	// StepSec and Steps record the raw measurement.
+	StepSec float64
+	Steps   int
+}
+
+// ReferenceModel is the executed model both the train probe and the
+// validation matrix run: wide enough that GEMM work dominates a step,
+// small enough that the 16-case matrix finishes in CI minutes.
+func ReferenceModel() mae.Config {
+	enc := vit.Config{Name: "calib", Width: 128, Depth: 4, MLP: 512, Heads: 4,
+		PatchSize: 4, ImageSize: 16, Channels: 3}
+	return mae.Config{Encoder: enc, DecoderWidth: 64, DecoderDepth: 2, DecoderHeads: 2, MaskRatio: 0.75}
+}
+
+// referenceConfig builds the shared training recipe at a given world
+// size (per-rank batch held at 4 so per-rank work matches across the
+// probe and the matrix).
+func referenceConfig(ranks, steps int) train.DistConfig {
+	return train.DistConfig{
+		PretrainConfig: train.PretrainConfig{
+			MAE: ReferenceModel(), BatchSize: 4 * ranks, Epochs: 1,
+			BaseLR: 0.02, WeightDecay: 0.05, WarmupEpochs: 1,
+			ClipNorm: 5, Workers: 2, Seed: 3,
+			MaxStepsPerEpoch: steps,
+		},
+		Ranks: ranks,
+		Plan:  fsdp.DefaultDDP(),
+	}
+}
+
+// MeasureTrainProbe executes the single-rank reference run (a one-rank
+// world's collectives are no-ops, so nothing but compute and the input
+// pipeline is on the clock) and reduces it to achieved FLOP/s.
+func MeasureTrainProbe(steps int) (TrainProbe, error) {
+	if steps < 1 {
+		steps = 4
+	}
+	cfg := referenceConfig(1, steps)
+	w, err := train.WorkloadFor(cfg)
+	if err != nil {
+		return TrainProbe{}, err
+	}
+	warm := cfg
+	warm.MaxStepsPerEpoch = 1
+	if _, err := train.PretrainDistributed(warm, validationDataset(warm.BatchSize, cfg.MAE.Encoder.ImageSize)); err != nil {
+		return TrainProbe{}, fmt.Errorf("calib: train probe warmup: %w", err)
+	}
+	res, err := train.PretrainDistributed(cfg, validationDataset(cfg.BatchSize*steps, cfg.MAE.Encoder.ImageSize))
+	if err != nil {
+		return TrainProbe{}, fmt.Errorf("calib: train probe: %w", err)
+	}
+	step := res.WallSec / float64(res.Steps)
+	if step <= 0 {
+		return TrainProbe{}, fmt.Errorf("calib: train probe measured non-positive step time %v", step)
+	}
+	return TrainProbe{
+		Dim:      CharacteristicGEMMDim(w),
+		EffFLOPS: w.TotalStepFLOPs() / step,
+		StepSec:  step,
+		Steps:    res.Steps,
+	}, nil
+}
+
+// MeasureContention measures how much GEMM throughput one stream loses
+// when `streams` streams run concurrently — the oversubscription factor
+// of in-process ranks sharing the host's cores. On a machine with at
+// least `streams` free cores this is ≈ 1; on a single-core host it is
+// ≈ streams. MachineFor divides per-rank effective FLOP/s by it, since
+// the simulator's compute stream assumes every rank owns its
+// accelerator.
+func MeasureContention(streams int, window time.Duration) float64 {
+	if streams < 1 {
+		streams = 1
+	}
+	single := gemmStreamsGFLOPS(1, window)
+	if streams == 1 || single <= 0 {
+		return 1
+	}
+	multi := gemmStreamsGFLOPS(streams, window)
+	if multi <= 0 {
+		return 1
+	}
+	c := single / multi
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// gemmStreamsGFLOPS runs k concurrent GEMM streams for the window and
+// returns the mean per-stream achieved GFLOP/s.
+func gemmStreamsGFLOPS(k int, window time.Duration) float64 {
+	const dim = 128
+	flops := 2 * float64(dim) * float64(dim) * float64(dim)
+	iters := make([]int, k)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			g := rng.New(uint64(1 + s))
+			a := make([]float32, dim*dim)
+			b := make([]float32, dim*dim)
+			c := make([]float32, dim*dim)
+			g.FillUniform(a, -1, 1)
+			g.FillUniform(b, -1, 1)
+			for time.Since(start) < window {
+				tensor.MatMul(c, a, b, dim, dim, dim, false)
+				iters[s]++
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	total := 0
+	for _, n := range iters {
+		total += n
+	}
+	if elapsed <= 0 || total == 0 {
+		return 0
+	}
+	return flops * float64(total) / elapsed / float64(k) / 1e9
+}

@@ -100,6 +100,33 @@ func oneShotRing(bytes float64, ranks int, p Params, phases float64) Cost {
 	}
 }
 
+// ParamsFromAlphaBeta inverts the ring cost formula for a measured
+// α–β fit: given per-call time t(V) ≈ α + β·V over payload bytes V for
+// a collective of the given phase count (1 for all-gather /
+// reduce-scatter, 2 for all-reduce) on an n-rank ring, it returns the
+// Params under which the model reproduces the fit exactly —
+// Launch = α (the measured fixed cost absorbs per-hop latency) and
+// Bandwidth = phases·(n−1)/n / β, so phases·(n−1)/n·V/Bandwidth = β·V.
+// This is how a calibrated HardwareProfile (internal/calib) feeds
+// measured collective characteristics back into the model that
+// internal/dist and fsdp.Simulate price with, replacing the asserted
+// hw.Frontier constants.
+func ParamsFromAlphaBeta(alpha, beta float64, ranks int, phases float64) (Params, error) {
+	if ranks < 2 {
+		return Params{}, fmt.Errorf("comm: α–β fit needs a ring (ranks %d)", ranks)
+	}
+	if beta <= 0 || phases <= 0 {
+		return Params{}, fmt.Errorf("comm: non-positive β %v or phases %v", beta, phases)
+	}
+	if alpha < 0 {
+		// Noise can fit a slightly negative intercept; a launch cost
+		// below zero is meaningless, so clamp.
+		alpha = 0
+	}
+	n := float64(ranks)
+	return Params{Bandwidth: phases * (n - 1) / n / beta, Launch: alpha}, nil
+}
+
 // BusBandwidth converts a measured collective time back into the
 // "bus bandwidth" figure of merit RCCL reports; used by tests to check
 // the model against algorithmic limits.

@@ -1,0 +1,75 @@
+package fsdp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/perfmodel"
+	"repro/internal/vit"
+)
+
+// TestDefaultPathGolden pins the no-profile default: with no hardware
+// profile loaded, Simulate prices workloads on the asserted Frontier
+// machine, and these numbers must not drift when calibration code is
+// touched. The values are pure float64 arithmetic (no measurement), so
+// they are exact on every platform; regenerate them deliberately if
+// the model itself changes, never to absorb an accidental diff.
+func TestDefaultPathGolden(t *testing.T) {
+	w := perfmodel.ViTWorkload(vit.ViT1B, 32)
+	golden := []struct {
+		plan                             string
+		step, compute, comm, exposedComm string
+	}{
+		{"DDP", "1.208389683e+00", "1.111208112e+00", "6.524147570e-01", "2.146795433e-02"},
+		{"SHARD_GRAD_OP", "1.134211808e+00", "1.088130253e+00", "3.149932417e-01", "9.411779555e-03"},
+		{"FULL_SHARD", "1.157433732e+00", "1.088130253e+00", "4.724898625e-01", "1.432351760e-02"},
+		{"HYBRID_4GPUs", "1.116910933e+00", "1.093341383e+00", "1.642968215e-01", "4.379468061e-03"},
+	}
+	plans := []Plan{DefaultDDP(), BestPractice(ShardGradOp, 0),
+		BestPractice(FullShard, 0), BestPractice(HybridShard, 4)}
+	for i, plan := range plans {
+		r := mustSim(t, w, 4, plan)
+		g := golden[i]
+		if plan.Name() != g.plan {
+			t.Fatalf("plan %d named %s, golden says %s", i, plan.Name(), g.plan)
+		}
+		for _, pair := range []struct {
+			what string
+			got  float64
+			want string
+		}{
+			{"step", r.StepTime, g.step},
+			{"compute", r.ComputeTime, g.compute},
+			{"comm", r.CommTime, g.comm},
+			{"exposed", r.ExposedComm, g.exposedComm},
+		} {
+			if got := fmt.Sprintf("%.9e", pair.got); got != pair.want {
+				t.Errorf("%s %s drifted: %s, golden %s", g.plan, pair.what, got, pair.want)
+			}
+		}
+	}
+}
+
+// TestCalibratedGateChangesPricing: flipping Calibrated on the same
+// machine must actually reroute Simulate off the asserted fudge
+// constants — if the gate stops gating, the calibrated path silently
+// inherits Frontier's host overheads and straggler inflation.
+func TestCalibratedGateChangesPricing(t *testing.T) {
+	w := perfmodel.ViTWorkload(vit.ViT1B, 32)
+	m := frontier
+	m.Calibrated = true
+	for _, plan := range []Plan{DefaultDDP(), BestPractice(FullShard, 0)} {
+		def := mustSim(t, w, 4, plan)
+		cal, err := Simulate(w, m, 4, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cal.StepTime >= def.StepTime {
+			t.Fatalf("%s: calibrated gate did not drop the asserted overheads (step %v vs %v)",
+				plan.Name(), cal.StepTime, def.StepTime)
+		}
+		if cal.ComputeTime <= 0 || cal.CommTime <= 0 {
+			t.Fatalf("%s: degenerate calibrated result %+v", plan.Name(), cal)
+		}
+	}
+}

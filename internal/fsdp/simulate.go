@@ -96,8 +96,12 @@ func Simulate(w perfmodel.Workload, m hw.Machine, nodes int, plan Plan) (Result,
 	// a hard-coded element size.
 	cBytes := w.Prec.GradReduceBytes(plan.Strategy == DDP)
 
+	// The calibration constants below are asserted, Frontier-shaped
+	// overheads; a Calibrated machine's measured α–β already contains
+	// every per-call fixed cost, so they are disabled wholesale there
+	// (see hw.Machine.Calibrated).
 	straggle := 1.0
-	if nodes > 1 {
+	if !m.Calibrated && nodes > 1 {
 		straggle += stragglerPerDoubling * math.Log2(float64(nodes))
 	}
 
@@ -127,10 +131,13 @@ func Simulate(w perfmodel.Workload, m hw.Machine, nodes int, plan Plan) (Result,
 	case NoShard:
 		hostOverhead = hostOverheadNoShard
 	}
+	if m.Calibrated {
+		hostOverhead = 0
+	}
 
 	agParams := comm.Params{Bandwidth: shardBW, HopLat: shardLat, ChunkOverheadBytes: shardChunk,
 		Launch: m.CollectiveLaunch + hostOverhead}
-	if !plan.LimitAllGathers && plan.shardsParams(world) {
+	if !m.Calibrated && !plan.LimitAllGathers && plan.shardsParams(world) {
 		agParams.Bandwidth *= noLimitBWFactor
 		agParams.Launch += noLimitExtraLaunch
 	}

@@ -1,0 +1,71 @@
+package hw
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Features describes the capabilities of the CPU this process runs on
+// — the one queryable record of what the host can do. The SIMD kernel
+// dispatch in internal/tensor gates its assembly paths on SIMD(), and
+// the calibration harness (internal/calib, cmd/calibrate) stamps the
+// struct into every HardwareProfile so a profile is never silently
+// applied on a machine whose kernels run a different code path.
+type Features struct {
+	// Arch is runtime.GOARCH; OS is runtime.GOOS.
+	Arch string
+	OS   string
+	// AVX2, FMA and OSYMM report the instruction-set extensions the
+	// GEMM/bf16 micro-kernels need: AVX2 and FMA3 support in the CPU,
+	// and YMM state saving enabled in the OS (XGETBV). All false on
+	// non-amd64 builds and under the purego tag.
+	AVX2, FMA, OSYMM bool
+	// PureGo reports the build excluded the assembly kernels (the
+	// purego build tag or a non-amd64 target), regardless of what the
+	// CPU supports.
+	PureGo bool
+	// LogicalCores is runtime.NumCPU() at detection time; MaxProcs is
+	// the GOMAXPROCS ceiling the worker pool sizes itself to.
+	LogicalCores int
+	MaxProcs     int
+}
+
+// SIMD reports whether the hand-written AVX2+FMA kernels are usable:
+// the single gate every assembly path in internal/tensor switches on.
+func (f Features) SIMD() bool {
+	return !f.PureGo && f.AVX2 && f.FMA && f.OSYMM
+}
+
+// KernelISA names the instruction set the numeric kernels execute with.
+func (f Features) KernelISA() string {
+	if f.SIMD() {
+		return "avx2+fma"
+	}
+	return "generic"
+}
+
+// String renders the one-line host summary the calibration CLI prints.
+func (f Features) String() string {
+	return fmt.Sprintf("%s/%s %s (%d cores, GOMAXPROCS %d)",
+		f.OS, f.Arch, f.KernelISA(), f.LogicalCores, f.MaxProcs)
+}
+
+var (
+	detectOnce sync.Once
+	detected   Features
+)
+
+// Detect returns the host's CPU features. The probe runs once; every
+// caller sees the same struct, so the kernel dispatch and the
+// calibration harness cannot disagree about what the machine supports.
+func Detect() Features {
+	detectOnce.Do(func() {
+		detected = detectFeatures()
+		detected.Arch = runtime.GOARCH
+		detected.OS = runtime.GOOS
+		detected.LogicalCores = runtime.NumCPU()
+		detected.MaxProcs = runtime.GOMAXPROCS(0)
+	})
+	return detected
+}

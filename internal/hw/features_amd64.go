@@ -1,0 +1,35 @@
+//go:build amd64 && !purego
+
+package hw
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// detectFeatures probes CPUID for the extensions the assembly kernels
+// need: FMA3 and AVX2 in the CPU, OSXSAVE with XMM+YMM state saving
+// enabled in the OS.
+func detectFeatures() Features {
+	var f Features
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return f
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	f.FMA = c1&fmaBit != 0
+	if c1&osxsaveBit != 0 && c1&avxBit != 0 {
+		if xcr0, _ := xgetbv(); xcr0&6 == 6 { // XMM and YMM state enabled
+			f.OSYMM = true
+		}
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	f.AVX2 = b7&(1<<5) != 0
+	return f
+}

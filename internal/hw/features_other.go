@@ -1,0 +1,10 @@
+//go:build !amd64 || purego
+
+package hw
+
+// detectFeatures reports no SIMD extensions: either the target is not
+// amd64 or the purego tag excluded the assembly kernels, and in both
+// cases internal/tensor runs its portable Go paths.
+func detectFeatures() Features {
+	return Features{PureGo: true}
+}

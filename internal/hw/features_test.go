@@ -1,0 +1,40 @@
+package hw
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestDetectMemoizedAndPopulated(t *testing.T) {
+	f := Detect()
+	if f != Detect() {
+		t.Fatal("Detect is not stable across calls")
+	}
+	if f.Arch != runtime.GOARCH || f.OS != runtime.GOOS {
+		t.Fatalf("arch/os = %s/%s, want %s/%s", f.Arch, f.OS, runtime.GOARCH, runtime.GOOS)
+	}
+	if f.LogicalCores < 1 || f.MaxProcs < 1 {
+		t.Fatalf("cores=%d maxprocs=%d", f.LogicalCores, f.MaxProcs)
+	}
+}
+
+func TestSIMDGateConsistency(t *testing.T) {
+	f := Detect()
+	if f.PureGo && f.SIMD() {
+		t.Fatal("SIMD reported usable under a purego/non-amd64 build")
+	}
+	if f.SIMD() != (!f.PureGo && f.AVX2 && f.FMA && f.OSYMM) {
+		t.Fatal("SIMD() disagrees with its component flags")
+	}
+	want := "generic"
+	if f.SIMD() {
+		want = "avx2+fma"
+	}
+	if f.KernelISA() != want {
+		t.Fatalf("KernelISA=%q, want %q", f.KernelISA(), want)
+	}
+	if !strings.Contains(f.String(), f.KernelISA()) {
+		t.Fatalf("String()=%q does not name the kernel ISA", f.String())
+	}
+}

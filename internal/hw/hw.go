@@ -57,6 +57,17 @@ type Machine struct {
 	// CommPowerFrac scales how much communication-only activity
 	// contributes to power relative to full compute.
 	CommPowerFrac float64
+
+	// Calibrated marks a machine whose constants were *measured* on a
+	// live host (internal/calib builds these from a HardwareProfile)
+	// rather than asserted from datasheets. The FSDP simulator then
+	// skips the Frontier-specific fudge constants — per-strategy host
+	// overheads, the limit_all_gathers congestion penalty and the
+	// at-scale straggler inflation — because a measured collective α
+	// already contains every end-to-end fixed cost of a call on that
+	// host. False (the default) preserves the published-figure path
+	// bit for bit.
+	Calibrated bool
 }
 
 // Frontier returns the machine model for the paper's system:

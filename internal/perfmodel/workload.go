@@ -89,6 +89,12 @@ type Workload struct {
 	// MAE adds the lightweight decoder (width 512 × 8 blocks over the
 	// full token grid) to compute and communication.
 	MAE bool
+	// DecWidth/DecDepth override the decoder geometry (0 keeps the
+	// paper's 512×8). The executed test-scale MAE models run scaled-down
+	// decoders (mae.Config.DecoderWidth/Depth); the calibration
+	// validation suite uses these overrides so fsdp.Simulate prices the
+	// exact model PretrainDistributed executes.
+	DecWidth, DecDepth int
 	// ActCheckpoint enables activation checkpointing: activations
 	// shrink to block boundaries, backward recomputes forward (+1×
 	// forward FLOPs).
@@ -130,6 +136,30 @@ const (
 	decDepth = 8
 )
 
+// decoderWidth/decoderDepth return the decoder geometry with the
+// paper defaults applied.
+func (w Workload) decoderWidth() int {
+	if w.DecWidth > 0 {
+		return w.DecWidth
+	}
+	return decWidth
+}
+
+func (w Workload) decoderDepth() int {
+	if w.DecDepth > 0 {
+		return w.DecDepth
+	}
+	return decDepth
+}
+
+// DecoderGeometry returns the decoder width and depth with the paper
+// defaults applied — the geometry Units() prices. Exported for the
+// calibration package, which weighs the workload's GEMM shapes to pick
+// the MFU operating point on the measured roofline.
+func (w Workload) DecoderGeometry() (width, depth int) {
+	return w.decoderWidth(), w.decoderDepth()
+}
+
 // Validate reports configuration errors.
 func (w Workload) Validate() error {
 	if err := w.Model.Validate(); err != nil {
@@ -143,6 +173,9 @@ func (w Workload) Validate() error {
 	}
 	if w.Prec.ComputeBytes <= 0 || w.Prec.StateBytesPerParam <= 0 {
 		return fmt.Errorf("perfmodel: precision not set (use MixedPrecision)")
+	}
+	if w.DecWidth < 0 || w.DecDepth < 0 {
+		return fmt.Errorf("perfmodel: negative decoder override %d×%d", w.DecWidth, w.DecDepth)
 	}
 	return nil
 }
@@ -172,7 +205,8 @@ func (w Workload) DecoderBlockForwardFLOPs() float64 {
 	if !w.MAE {
 		return 0
 	}
-	return blockFLOPs(w.LocalBatch, w.Model.Tokens(), decWidth, 4*decWidth)
+	dw := w.decoderWidth()
+	return blockFLOPs(w.LocalBatch, w.Model.Tokens(), dw, 4*dw)
 }
 
 // EmbedForwardFLOPs returns the patch-projection forward FLOPs.
@@ -195,7 +229,7 @@ func (w Workload) TotalForwardFLOPs() float64 {
 	total := w.EmbedForwardFLOPs() +
 		float64(w.Model.Depth)*w.EncoderBlockForwardFLOPs()
 	if w.MAE {
-		total += float64(decDepth) * w.DecoderBlockForwardFLOPs()
+		total += float64(w.decoderDepth()) * w.DecoderBlockForwardFLOPs()
 	}
 	return total
 }
@@ -242,9 +276,10 @@ func (w Workload) Units() []Unit {
 	}
 	if w.MAE {
 		df := w.DecoderBlockForwardFLOPs()
-		dcfg := vit.Config{Width: decWidth, MLP: 4 * decWidth}
+		dw := w.decoderWidth()
+		dcfg := vit.Config{Width: dw, MLP: 4 * dw}
 		dp := dcfg.BlockParams()
-		for i := 0; i < decDepth; i++ {
+		for i := 0; i < w.decoderDepth(); i++ {
 			units = append(units, Unit{
 				Name:     fmt.Sprintf("dec%d", i),
 				Params:   dp,
@@ -253,10 +288,10 @@ func (w Workload) Units() []Unit {
 			})
 		}
 		// Decoder embed + prediction head, folded into one unit.
-		headParams := int64(w.Model.Width)*decWidth + decWidth +
-			int64(decWidth)*int64(w.Model.PatchDim()) + int64(w.Model.PatchDim())
+		headParams := int64(w.Model.Width)*int64(dw) + int64(dw) +
+			int64(dw)*int64(w.Model.PatchDim()) + int64(w.Model.PatchDim())
 		headFLOPs := 2 * float64(w.LocalBatch) * float64(w.Model.Tokens()) *
-			float64(decWidth) * float64(w.Model.PatchDim())
+			float64(dw) * float64(w.Model.PatchDim())
 		units = append(units, Unit{
 			Name:     "dec_head",
 			Params:   headParams,

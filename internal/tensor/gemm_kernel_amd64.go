@@ -2,6 +2,8 @@
 
 package tensor
 
+import "repro/internal/hw"
+
 // kern6x16 is the AVX2+FMA micro-kernel (gemm_kernel_amd64.s): twelve
 // YMM accumulators hold the 6×16 C tile, each K step broadcasts six A
 // values against two 8-lane B vectors. It always accumulates into C.
@@ -9,41 +11,17 @@ package tensor
 //go:noescape
 func kern6x16(kc int, ap, bp, cp *float32, ldc int)
 
-// cpuid executes the CPUID instruction for the given leaf/subleaf.
-func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
-
-// xgetbv reads extended control register 0 (XCR0).
-func xgetbv() (eax, edx uint32)
-
 // haveFMA reports whether the CPU and OS support AVX2 and FMA (and the
-// OS saves YMM state), gating the assembly micro-kernel.
-var haveFMA = detectFMA()
+// OS saves YMM state), gating the assembly micro-kernel. The probe
+// lives in hw.Detect so the kernel dispatch and the calibration
+// harness read one shared feature record instead of scattering CPUID
+// checks per package.
+var haveFMA = hw.Detect().SIMD()
 
 // haveFastKernel gates the blocked-and-packed GEMM path: without the
 // SIMD micro-kernel the packing overhead is pure loss and the
 // dispatchers stay on the streaming kernels.
 var haveFastKernel = haveFMA
-
-func detectFMA() bool {
-	maxID, _, _, _ := cpuid(0, 0)
-	if maxID < 7 {
-		return false
-	}
-	_, _, c1, _ := cpuid(1, 0)
-	const (
-		fmaBit     = 1 << 12
-		osxsaveBit = 1 << 27
-		avxBit     = 1 << 28
-	)
-	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
-		return false
-	}
-	if xcr0, _ := xgetbv(); xcr0&6 != 6 { // XMM and YMM state enabled
-		return false
-	}
-	_, b7, _, _ := cpuid(7, 0)
-	return b7&(1<<5) != 0 // AVX2
-}
 
 // microKern dispatches to the assembly kernel when the CPU supports it.
 func microKern(kc int, ap, bp, cp *float32, ldc int) {

@@ -5,6 +5,7 @@ package tensor
 import (
 	"testing"
 
+	"repro/internal/hw"
 	"repro/internal/rng"
 )
 
@@ -35,8 +36,9 @@ func TestAsmKernelMatchesGeneric(t *testing.T) {
 }
 
 func TestDetectFMAConsistent(t *testing.T) {
-	// Re-running detection must be stable (CPUID is not flaky).
-	if detectFMA() != haveFMA {
-		t.Fatal("detectFMA not deterministic")
+	// Re-querying the shared feature record must agree with the gate
+	// captured at package init (hw.Detect memoizes one CPUID probe).
+	if hw.Detect().SIMD() != haveFMA {
+		t.Fatal("hw.Detect().SIMD() disagrees with the kernel dispatch gate")
 	}
 }

@@ -176,6 +176,53 @@ func (b ExecBreakdown) String() string {
 		1e3*b.ExposedStepSec(), 100*b.ExposedFrac())
 }
 
+// Agreement is one executed-vs-predicted comparison: a measured
+// quantity from an ExecBreakdown next to the calibrated simulator's
+// prediction of the same quantity. The calibration validation suite
+// (internal/calib) builds one per compared metric and holds the ratio
+// within a stated tolerance factor.
+type Agreement struct {
+	Label        string
+	MeasuredSec  float64
+	PredictedSec float64
+	// FloorSec is the magnitude below which the two sides are compared
+	// as "both negligible" instead of by ratio: timing noise dominates
+	// micro-second-scale quantities, so a ratio there is meaningless.
+	FloorSec float64
+}
+
+// Ratio returns measured/predicted (0 when the prediction is not
+// positive).
+func (a Agreement) Ratio() float64 {
+	if a.PredictedSec <= 0 {
+		return 0
+	}
+	return a.MeasuredSec / a.PredictedSec
+}
+
+// Within reports whether the two sides agree within the tolerance
+// factor tol ≥ 1: either both sit below FloorSec (negligible on both
+// accounts), or the ratio lies in [1/tol, tol].
+func (a Agreement) Within(tol float64) bool {
+	if tol < 1 {
+		return false
+	}
+	if a.MeasuredSec <= a.FloorSec && a.PredictedSec <= a.FloorSec {
+		return true
+	}
+	if a.MeasuredSec <= 0 || a.PredictedSec <= 0 {
+		return false
+	}
+	r := a.Ratio()
+	return r <= tol && r >= 1/tol
+}
+
+// String renders the comparison line the validation report prints.
+func (a Agreement) String() string {
+	return fmt.Sprintf("%s: measured %.2f ms, predicted %.2f ms (×%.2f)",
+		a.Label, 1e3*a.MeasuredSec, 1e3*a.PredictedSec, a.Ratio())
+}
+
 // MeanPower returns the trace's average power draw.
 func (t Trace) MeanPower() float64 {
 	if len(t.Samples) == 0 {
