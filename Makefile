@@ -1,13 +1,14 @@
 # Developer entry points for the repro tree. CI runs vet+build+test, a
 # -race job over the distributed layer, and the docs gate (see
 # .github/workflows/ci.yml); `make bench` records the GEMM and
-# attention kernel throughput into BENCH_gemm.json and `make
-# bench-dist` the multi-rank training throughput into BENCH_dist.json
-# for the perf trajectory across PRs.
+# attention kernel throughput into BENCH_gemm.json, `make bench-dist`
+# the multi-rank training throughput into BENCH_dist.json, and `make
+# bench-serve` the inference-serving latency percentiles into
+# BENCH_serve.json for the perf trajectory across PRs.
 
 GO ?= go
 
-.PHONY: build vet test test-all race docs bench bench-dist calibrate
+.PHONY: build vet test test-all race docs bench bench-dist bench-serve calibrate
 
 build:
 	$(GO) build ./...
@@ -22,7 +23,7 @@ test-all:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./internal/mae/ ./internal/dataload/ ./geofm/ ./cmd/pretrain/
+	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./internal/mae/ ./internal/dataload/ ./internal/serve/ ./geofm/ ./cmd/pretrain/ ./cmd/serve/
 	$(GO) test -race -run BF16 ./internal/tensor/
 
 # Docs gate: formatting, vet, and a package comment on every package.
@@ -44,6 +45,15 @@ bench-dist:
 	$(GO) run ./tools/benchjson < bench_dist.out > BENCH_dist.json
 	@rm -f bench_dist.out
 	@echo "wrote BENCH_dist.json"
+
+# Serving: the wall-clock server under timed open-loop load (measured
+# p50/p99/throughput) plus its deterministic virtual counterpart.
+bench-serve:
+	$(GO) test -bench 'Serve' -run NONE -benchtime 3x ./internal/serve/ > bench_serve.out
+	@cat bench_serve.out
+	$(GO) run ./tools/benchjson < bench_serve.out > BENCH_serve.json
+	@rm -f bench_serve.out
+	@echo "wrote BENCH_serve.json"
 
 # Calibration: measure this host (GEMM roofline, STREAM, collective α–β
 # sweeps, train probe) into hwprofile.json, then run the executed

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/geofm"
+)
+
+// tinyServeOptions is a complete serving session small enough to run
+// in milliseconds: a 2-layer encoder, a scale-1000 UCM analog for the
+// heads, two open-loop rates and a closed-loop tail.
+func tinyServeOptions() options {
+	enc := geofm.ViTConfig{Name: "tiny", Width: 16, Depth: 2, MLP: 32, Heads: 2,
+		PatchSize: 4, ImageSize: 12, Channels: 2}
+	return options{
+		mae: geofm.MAEConfig{Encoder: enc,
+			DecoderWidth: 8, DecoderDepth: 1, DecoderHeads: 2, MaskRatio: 0.75},
+		mode:   "virtual",
+		rates:  []float64{500, 1500},
+		n:      40,
+		cfg:    geofm.ServeConfig{MaxBatch: 4, MaxWaitSec: 2e-3, QueueCap: 32, Workers: 1},
+		closed: true,
+		loop:   geofm.ServeClosedLoopSpec{Clients: 2, PerClient: 5, ThinkSec: 1e-3},
+		scale:  1000,
+		epochs: 2,
+		seed:   1,
+	}
+}
+
+// tableOf extracts the report table (header row onward) from a serving
+// session's output. Only the table is golden-pinned: it is pure
+// discrete-event float64 timing, identical on every platform, while
+// the preamble's head accuracies ride on fp32 kernel code paths.
+func tableOf(t *testing.T, out string) string {
+	t.Helper()
+	idx := strings.Index(out, "run ")
+	if idx < 0 || (idx > 0 && out[idx-1] != '\n') {
+		t.Fatalf("no report table in output:\n%s", out)
+	}
+	return out[idx:]
+}
+
+// TestServeTableGolden pins the whole deterministic serving session
+// byte for byte: fixed seed + virtual clock + the simulator-priced
+// latency curve must reproduce this exact p50/p99/throughput table on
+// any host. Any drift in the batcher policy, the latency model, the
+// load generator, or the table format fails here.
+func TestServeTableGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run(tinyServeOptions(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"serving tiny with seed-1 weights (no checkpoint)",
+		"heads fitted on UCM",
+		"batch latency curve: launch ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	const golden = `run                     total served  shed  batch     rps   q_p50ms   q_p99ms   t_p50ms   t_p99ms  util
+virtual-rate500            40     40     0   1.90   478.0     1.614     2.000     1.917     2.303  0.08
+virtual-rate1500           40     40     0   3.08  1394.4     0.538     2.000     0.842     2.303  0.14
+closed-2x5                 10     10     0   2.00   644.8     2.000     2.000     2.302     2.302  0.10
+`
+	if got := tableOf(t, out); got != golden {
+		t.Errorf("serving table drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestServeTableDeterministic reruns the identical session and demands
+// byte-identical full output (preamble included) — the virtual mode's
+// whole point.
+func TestServeTableDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(tinyServeOptions(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyServeOptions(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two identical virtual sessions diverged:\n--- first ---\n%s--- second ---\n%s",
+			a.String(), b.String())
+	}
+}
+
+// TestServeWallMode smoke-tests the real goroutine server behind the
+// same session driver (numbers carry host noise, so only structure is
+// asserted).
+func TestServeWallMode(t *testing.T) {
+	o := tinyServeOptions()
+	o.mode = "wall"
+	o.rates = []float64{3000}
+	o.n = 12
+	o.closed = false
+	var b strings.Builder
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	table := tableOf(t, out)
+	if !strings.Contains(table, "wall-rate3000") {
+		t.Errorf("wall run missing from table:\n%s", out)
+	}
+	if !strings.Contains(table, "    12     12     0") {
+		t.Errorf("wall run did not serve all 12 requests:\n%s", table)
+	}
+}
+
+// TestServeFromCheckpoint round-trips both on-disk formats through
+// -ckpt: the named-parameter snapshot `pretrain -out` writes, and a
+// distributed TrainState envelope. Identical weights by either route
+// must produce the identical deterministic session.
+func TestServeFromCheckpoint(t *testing.T) {
+	o := tinyServeOptions()
+	o.rates = []float64{1500}
+	o.n = 20
+	o.closed = false
+
+	var want strings.Builder
+	if err := run(o, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantTable := tableOf(t, want.String())
+
+	// Named-parameter snapshot of the same seed weights.
+	m := geofm.NewServeModel(o.mae, o.seed)
+	path := t.TempDir() + "/params.ckpt"
+	if err := geofm.SaveCheckpoint(path, m.MAE.Params(), 7); err != nil {
+		t.Fatal(err)
+	}
+	o.ckpt = path
+	var got strings.Builder
+	if err := run(o, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.String(), "(step 7)") {
+		t.Errorf("checkpoint preamble missing step:\n%s", got.String())
+	}
+	if table := tableOf(t, got.String()); table != wantTable {
+		t.Errorf("snapshot-checkpoint session diverged from seed session:\n--- got ---\n%s--- want ---\n%s",
+			table, wantTable)
+	}
+
+	// A corrupt file must fail naming both formats.
+	bad := t.TempDir() + "/bad.ckpt"
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.ckpt = bad
+	if err := run(o, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "neither a TrainState nor a parameter checkpoint") {
+		t.Errorf("corrupt checkpoint: got %v", err)
+	}
+}
+
+// TestServeBadMode pins the fail-fast on an unknown -mode.
+func TestServeBadMode(t *testing.T) {
+	o := tinyServeOptions()
+	o.mode = "batch"
+	var b strings.Builder
+	err := run(o, &b)
+	if err == nil || !strings.Contains(err.Error(), `unknown -mode "batch"`) {
+		t.Errorf("bad mode: got %v", err)
+	}
+}
+
+// TestParseRates pins the -rates vocabulary.
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("500, 1000,2e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{500, 1000, 2000}
+	if len(got) != len(want) {
+		t.Fatalf("parseRates: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseRates: got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", ",,", "0", "-5", "500,x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q): expected an error", bad)
+		}
+	}
+}

@@ -244,3 +244,33 @@ func ExamplePretrainDistributed_overlapAccum() {
 	// bitwise identical to synchronous: true
 	// bytes == simulator accounting per optimizer step: true
 }
+
+// Example_serving runs the inference serving stack on the virtual
+// clock: a burst of embedding requests flows through the dynamic
+// batcher (close on size or deadline) and every number below is
+// exactly reproducible run to run.
+func Example_serving() {
+	cfg := geofm.ServeConfig{MaxBatch: 4, MaxWaitSec: 1e-3, QueueCap: 16, Workers: 1}
+	m := geofm.NewServeModel(tinyMAE(), 1)
+	lat := geofm.DefaultServeLatency(tinyMAE().Encoder)
+	img := make([]float32, tinyEncoder().ImageSize*tinyEncoder().ImageSize*tinyEncoder().Channels)
+	arrivals := make([]geofm.ServeArrival, 6)
+	for i := range arrivals {
+		arrivals[i] = geofm.ServeArrival{AtSec: float64(i) * 1e-4, Kind: geofm.ServeEmbed, Img: img}
+	}
+	res, err := geofm.ServeVirtual(cfg, lat, m, arrivals)
+	if err != nil {
+		panic(err)
+	}
+	rep := geofm.ServeSummarize("burst", res)
+	fmt.Println("served:", rep.Served, "shed:", rep.Shed)
+	for _, b := range res.Batches {
+		fmt.Printf("batch of %d closed by %s\n", len(b.IDs), b.Reason)
+	}
+	fmt.Println("embedding width:", len(res.Responses[0].Embedding))
+	// Output:
+	// served: 6 shed: 0
+	// batch of 4 closed by size
+	// batch of 2 closed by deadline
+	// embedding width: 16
+}

@@ -1,7 +1,8 @@
 // Package geofm is the public API of the geospatial foundation-model
 // library: pretraining billion-scale-style Vision Transformers with
 // masked autoencoding on remote-sensing imagery, adapting them to
-// downstream classification via linear probing, and planning/simulating
+// downstream classification via linear probing, serving the trained
+// models behind a dynamic batcher, and planning/simulating
 // distributed training runs on Frontier-class systems with PyTorch-FSDP
 // sharding semantics.
 //
@@ -15,6 +16,12 @@
 //
 //	plan, why := geofm.Advise(geofm.ViT5B, 32)     // sharding advisor
 //	sim, _ := geofm.Simulate(geofm.ViTWorkload(geofm.ViT5B, 32), geofm.Frontier(), 32, plan)
+//
+// The serving surface (Serve*) turns a checkpoint into a request-
+// driven inference service — embeddings, classification and
+// segmentation behind a max-batch/max-wait batcher — with a wall-clock
+// server, a deterministic virtual executor, and a paired serving
+// simulator (see Example_serving).
 package geofm
 
 import (
@@ -32,6 +39,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/probe"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/train"
 	"repro/internal/vit"
@@ -412,3 +420,132 @@ func Advise(cfg ViTConfig, nodes int) (Plan, string) {
 			cfg.Name, min)
 	}
 }
+
+// ---- Inference serving (internal/serve) --------------------------------
+
+// ServeConfig is the dynamic batcher's policy: max batch size,
+// max-wait deadline, bounded admission queue, engine count.
+type ServeConfig = serve.Config
+
+// ServeModel is the served artifact: encoder weights plus optional
+// fitted probe heads, shared read-only across inference engines.
+type ServeModel = serve.Model
+
+// ServeKind selects a request's workload.
+type ServeKind = serve.Kind
+
+// The three served workloads.
+const (
+	ServeEmbed    = serve.Embed
+	ServeClassify = serve.Classify
+	ServeSegment  = serve.Segment
+)
+
+// Server is the wall-clock inference server (Submit/Drain).
+type Server = serve.Server
+
+// ServeResponse carries one request's payload and latency trace.
+type ServeResponse = serve.Response
+
+// ServeArrival is one scheduled load-generator request.
+type ServeArrival = serve.Arrival
+
+// ServeLatencyModel prices one batch execution (launch + per-item).
+type ServeLatencyModel = serve.LatencyModel
+
+// ServeRunResult is one complete virtual or simulated serving run.
+type ServeRunResult = serve.RunResult
+
+// ServeSimReplay is a serving simulation cross-checked through the
+// internal/sim discrete-event engine.
+type ServeSimReplay = serve.SimReplay
+
+// ServeReport summarizes a run (p50/p99, throughput, occupancy).
+type ServeReport = serve.Report
+
+// ServeClosedLoopSpec describes a closed-loop load test.
+type ServeClosedLoopSpec = serve.ClosedLoop
+
+// ProbeHead is a trained linear probe packaged for serving.
+type ProbeHead = probe.Head
+
+// DefaultServeConfig returns a modest single-engine batcher.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewServeModel builds a servable model with fresh seed-derived
+// weights (the demo path).
+func NewServeModel(cfg MAEConfig, seed uint64) *ServeModel { return serve.NewModel(cfg, seed) }
+
+// ServeModelFromState loads the fp32 master weights of a training
+// checkpoint (LoadTrainState) into a servable model.
+func ServeModelFromState(cfg MAEConfig, st *TrainState) (*ServeModel, error) {
+	return serve.NewModelFromState(cfg, st)
+}
+
+// FitProbeHead runs the linear-probing recipe and returns the trained
+// head as a servable artifact alongside the accuracy trajectory.
+func FitProbeHead(cfg ProbeConfig, features FeatureFunc, featDim int, ds *Dataset) (*ProbeHead, *ProbeResult, error) {
+	return probe.FitHead(cfg, features, featDim, ds)
+}
+
+// FitSegProbeHead runs the segmentation-probing recipe and returns the
+// trained per-token head.
+func FitSegProbeHead(cfg SegConfig, features TokenFeatureFunc, featDim int,
+	ds *Dataset, patchSize int) (*ProbeHead, *SegResult, error) {
+	return probe.FitSegHead(cfg, features, featDim, ds, patchSize)
+}
+
+// NewInferenceServer starts the wall-clock server over the shared
+// model.
+func NewInferenceServer(cfg ServeConfig, m *ServeModel) (*Server, error) {
+	return serve.NewServer(cfg, m)
+}
+
+// ServeVirtual executes a serving run on a virtual clock: real
+// compute, modeled time — deterministic to the last float.
+func ServeVirtual(cfg ServeConfig, lat ServeLatencyModel, m *ServeModel, arrivals []ServeArrival) (*ServeRunResult, error) {
+	return serve.RunVirtual(cfg, lat, m, arrivals)
+}
+
+// ServeSimulate runs the serving simulator (no compute) cross-checked
+// against the internal/sim engine.
+func ServeSimulate(cfg ServeConfig, lat ServeLatencyModel, arrivals []ServeArrival) (*ServeSimReplay, error) {
+	return serve.Simulate(cfg, lat, arrivals)
+}
+
+// ServeClosedLoop drives a closed-loop load test through the virtual
+// executor.
+func ServeClosedLoop(cfg ServeConfig, lat ServeLatencyModel, m *ServeModel, cl ServeClosedLoopSpec) (*ServeRunResult, error) {
+	return serve.RunClosedLoop(cfg, lat, m, cl)
+}
+
+// ServePoissonArrivals builds a deterministic open-loop Poisson
+// request schedule.
+func ServePoissonArrivals(rate float64, n int, mix []ServeKind, image func(i int) []float32, seed uint64) []ServeArrival {
+	return serve.PoissonArrivals(rate, n, mix, image, seed)
+}
+
+// DefaultServeLatency prices batches for enc on the asserted
+// laptop-class host.
+func DefaultServeLatency(enc ViTConfig) ServeLatencyModel { return serve.DefaultLatency(enc) }
+
+// ServeLatencyFromProfile prices batches with a measured hardware
+// profile (cmd/calibrate output) instead of asserted constants.
+func ServeLatencyFromProfile(p *HardwareProfile, enc ViTConfig) (ServeLatencyModel, error) {
+	return serve.LatencyFromProfile(p, enc)
+}
+
+// ServeSummarize reduces a serving run to its report.
+func ServeSummarize(label string, res *ServeRunResult) ServeReport {
+	return serve.Summarize(label, res)
+}
+
+// ServeSummarizeResponses reduces a wall-clock server's responses to a
+// report (the goroutine server produces responses, not a RunResult).
+func ServeSummarizeResponses(label string, resps []*ServeResponse, workers int) ServeReport {
+	return serve.SummarizeResponses(label, resps, workers)
+}
+
+// ServeRenderTable formats reports as the fixed-width p50/p99 table
+// cmd/serve prints.
+func ServeRenderTable(reports []ServeReport) string { return serve.RenderTable(reports) }

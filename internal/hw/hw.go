@@ -105,9 +105,60 @@ func Frontier() Machine {
 	}
 }
 
+// DefaultHost returns an asserted laptop-class single host for the
+// serving stack's default batch-latency curve: one engine, no
+// interconnect to speak of, constants round enough to read p50/p99
+// tables against. Like Frontier these are asserted, not measured —
+// internal/calib's MachineFor replaces them with a live profile, and
+// Calibrated stays false here so consumers can tell the difference.
+func DefaultHost() Machine {
+	return Machine{
+		Name:        "asserted-host",
+		MaxNodes:    1,
+		GPUsPerNode: 1,
+
+		HBMBytesPerGPU: 16e9,
+		HBMBandwidth:   40e9,
+
+		PeakMatrixFLOPS: 200e9, // a few AVX2 cores' worth of fp32 GEMM
+		MFU:             0.5,
+
+		PairBW:             10e9,
+		IntraNodeBW:        10e9,
+		InterNodeBWPerNode: 10e9,
+
+		IntraHopLatency:    1e-6,
+		InterHopLatency:    1e-6,
+		IntraChunkOverhead: 4e3,
+		InterChunkOverhead: 4e3,
+		CollectiveLaunch:   3e-4,
+
+		SMContention: 0,
+
+		IdlePower:     10,
+		MaxPower:      45,
+		CommPowerFrac: 0.2,
+	}
+}
+
 // EffectiveFLOPS returns the usable per-GCD training throughput.
 func (m Machine) EffectiveFLOPS() float64 {
 	return m.PeakMatrixFLOPS * m.MFU
+}
+
+// InferLatency models one serving engine's batch step time as the α–β
+// curve τ(b) = launch + b·flopsPerItem/EffectiveFLOPS(): a fixed
+// host-side launch cost (kernel dispatch, batch gather — reusing the
+// machine's measured-or-asserted CollectiveLaunch as the per-call
+// fixed cost) plus compute at the effective FLOP rate. This is the
+// batch-size-dependent step latency the serving simulator prices
+// batches with; internal/calib profiles yield a calibrated curve
+// through the same method.
+func (m Machine) InferLatency(flopsPerItem float64, batch int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	return m.CollectiveLaunch + float64(batch)*flopsPerItem/m.EffectiveFLOPS()
 }
 
 // TotalGPUs returns the GCD count for a given node count.

@@ -1,0 +1,54 @@
+package mae
+
+import "repro/internal/nn"
+
+// InferTokenFeatures is TokenFeatures on the inference-only path: all
+// patches embedded (no masking), encoded over the full grid, with
+// every activation in the caller's InferCtx instead of the model's
+// backward caches. The returned (batch·Tokens × width) matrix is
+// ctx-owned and valid until ctx.Reset. Because nothing in the model
+// is written, one Model serves concurrent workers that each bring
+// their own ctx; the rows are bitwise identical to TokenFeatures.
+func (m *Model) InferTokenFeatures(ctx *nn.InferCtx, imgs []float32, batch int) []float32 {
+	enc := m.Cfg.Encoder
+	t := enc.Tokens()
+	pd := enc.PatchDim()
+	patches := ctx.Take(batch * t * pd)
+	nn.Patchify(patches, imgs, batch, enc.ImageSize, enc.ImageSize, enc.Channels, enc.PatchSize)
+	h := m.Embed.Infer(ctx, patches, batch)
+	return m.Encoder.Infer(ctx, h, batch, t)
+}
+
+// InferFeatures is Features on the inference-only path: the unmasked
+// encoder pass followed by the mean-pool over tokens, ctx-owned
+// output, bitwise identical to Features.
+func (m *Model) InferFeatures(ctx *nn.InferCtx, imgs []float32, batch int) []float32 {
+	h := m.InferTokenFeatures(ctx, imgs, batch)
+	w := m.Cfg.Encoder.Width
+	pooled := ctx.Take(batch * w)
+	for i := range pooled {
+		pooled[i] = 0
+	}
+	m.PoolTokens(pooled, h, batch)
+	return pooled
+}
+
+// PoolTokens mean-pools a (batch·Tokens × width) token matrix into the
+// zeroed (batch × width) dst, with the exact accumulation order
+// Features uses — token-major, scaled per term — so pooling the
+// inference path's tokens reproduces the training path's pooled
+// features bit for bit.
+func (m *Model) PoolTokens(dst, h []float32, batch int) {
+	t := m.Cfg.Encoder.Tokens()
+	w := m.Cfg.Encoder.Width
+	inv := float32(1) / float32(t)
+	for b := 0; b < batch; b++ {
+		out := dst[b*w : (b+1)*w]
+		for tok := 0; tok < t; tok++ {
+			row := h[(b*t+tok)*w : (b*t+tok+1)*w]
+			for j := range out {
+				out[j] += row[j] * inv
+			}
+		}
+	}
+}

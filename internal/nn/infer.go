@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// InferCtx is a per-worker scratch arena for the inference-only
+// forward path. Training forwards cache activations inside the layer
+// structs (for backward), which makes a shared model unsafe to call
+// from two goroutines; the Infer methods instead write every
+// activation into the caller's InferCtx and never touch layer state,
+// so any number of workers can run the same read-only weights
+// concurrently with one InferCtx each.
+//
+// Buffers are handed out in call order and stay valid until Reset, so
+// a steady-state serving loop reuses the same allocations every
+// batch. An InferCtx is not safe for concurrent use; it is the
+// per-worker part of the split.
+type InferCtx struct {
+	bufs [][]float32
+	next int
+}
+
+// NewInferCtx returns an empty arena; buffers grow on first use.
+func NewInferCtx() *InferCtx { return &InferCtx{} }
+
+// Reset recycles every buffer handed out since the last Reset.
+// Slices returned by earlier Infer calls are invalid after Reset.
+func (c *InferCtx) Reset() { c.next = 0 }
+
+// Take returns a length-n scratch slice owned by the arena, valid
+// until Reset. Contents are unspecified: every Infer method fully
+// overwrites what it takes, and callers needing zeroed memory (the
+// mean-pool accumulator) clear it themselves.
+func (c *InferCtx) Take(n int) []float32 {
+	if c.next == len(c.bufs) {
+		c.bufs = append(c.bufs, nil)
+	}
+	b := c.bufs[c.next]
+	if cap(b) < n {
+		b = make([]float32, n)
+	}
+	b = b[:n]
+	c.bufs[c.next] = b
+	c.next++
+	return b
+}
+
+// Infer is Forward without the backward caches: y = x·W + b computed
+// with the same GEMM kernel and bias loop, output in ctx. The layer
+// is read-only here, so concurrent workers may share it.
+func (l *Linear) Infer(ctx *InferCtx, x []float32, rows int) []float32 {
+	checkRows(len(x), rows, l.In, "Linear.Infer")
+	y := ctx.Take(rows * l.Out)
+	tensor.MatMul(y, x, l.W.Value.Data, rows, l.In, l.Out, false)
+	b := l.B.Value.Data
+	for i := 0; i < rows; i++ {
+		yi := y[i*l.Out : (i+1)*l.Out]
+		for j := range yi {
+			yi[j] += b[j]
+		}
+	}
+	return y
+}
+
+// Infer normalizes rows of x exactly as Forward does (same float64
+// accumulation, same parallel grain) without caching x̂ or 1/σ.
+func (ln *LayerNorm) Infer(ctx *InferCtx, x []float32, rows int) []float32 {
+	d := ln.Dim
+	checkRows(len(x), rows, d, "LayerNorm.Infer")
+	y := ctx.Take(rows * d)
+	g := ln.Gamma.Value.Data
+	b := ln.Beta.Value.Data
+	parallel.RangeGrain(rows, 1+parallel.MinGrain/(d+1), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xi := x[r*d : (r+1)*d]
+			var mean float64
+			for _, v := range xi {
+				mean += float64(v)
+			}
+			mean /= float64(d)
+			var variance float64
+			for _, v := range xi {
+				dv := float64(v) - mean
+				variance += dv * dv
+			}
+			variance /= float64(d)
+			inv := float32(1 / math.Sqrt(variance+float64(ln.Eps)))
+			yi := y[r*d : (r+1)*d]
+			m := float32(mean)
+			for j, v := range xi {
+				h := (v - m) * inv
+				yi[j] = g[j]*h + b[j]
+			}
+		}
+	})
+	return y
+}
+
+// Infer applies the activation elementwise without caching the input.
+func (g *GELU) Infer(ctx *InferCtx, x []float32, rows int) []float32 {
+	y := ctx.Take(len(x))
+	parallel.Range(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := float64(x[i])
+			y[i] = float32(0.5 * v * (1 + math.Tanh(geluC*(v+0.044715*v*v*v))))
+		}
+	})
+	return y
+}
+
+// Infer runs the feed-forward block through the arena.
+func (m *MLP) Infer(ctx *InferCtx, x []float32, rows int) []float32 {
+	h := m.FC1.Infer(ctx, x, rows)
+	h = m.Act.Infer(ctx, h, rows)
+	return m.FC2.Infer(ctx, h, rows)
+}
+
+// Infer runs self-attention with every intermediate (fused QKV, the
+// per-head Q/K/V rearrangement, the probability matrices, the merged
+// head output) in the arena. The per-head products go through the
+// identical strided GEMM entry points as Forward, so the output is
+// bitwise equal to the training path.
+func (a *MultiHeadAttention) Infer(ctx *InferCtx, x []float32, batch, tokens int) []float32 {
+	w, h, d := a.Width, a.Heads, a.HeadDim
+	checkRows(len(x), batch*tokens, w, "MultiHeadAttention.Infer")
+	qkv := a.QKV.Infer(ctx, x, batch*tokens)
+
+	bh := batch * h
+	q := ctx.Take(bh * tokens * d)
+	k := ctx.Take(bh * tokens * d)
+	v := ctx.Take(bh * tokens * d)
+	probs := ctx.Take(bh * tokens * tokens)
+	attnOut := ctx.Take(batch * tokens * w)
+
+	parallel.ForGrain(bh, 1, func(i int) {
+		b, hh := i/h, i%h
+		for t := 0; t < tokens; t++ {
+			src := qkv[(b*tokens+t)*3*w:]
+			dst := i*tokens*d + t*d
+			copy(q[dst:dst+d], src[hh*d:hh*d+d])
+			copy(k[dst:dst+d], src[w+hh*d:w+hh*d+d])
+			copy(v[dst:dst+d], src[2*w+hh*d:2*w+hh*d+d])
+		}
+	})
+
+	scale := float32(1 / math.Sqrt(float64(d)))
+	parallel.ForGrain(bh, 1, func(i int) {
+		qi := q[i*tokens*d : (i+1)*tokens*d]
+		ki := k[i*tokens*d : (i+1)*tokens*d]
+		vi := v[i*tokens*d : (i+1)*tokens*d]
+		p := probs[i*tokens*tokens : (i+1)*tokens*tokens]
+		tensor.MatMulTB(p, qi, ki, tokens, d, tokens, false)
+		for j := range p {
+			p[j] *= scale
+		}
+		tensor.Softmax(p, p, tokens, tokens)
+		b, hh := i/h, i%h
+		tensor.MatMulLd(attnOut[(b*tokens)*w+hh*d:], p, vi,
+			tokens, tokens, d, tokens, d, w, false)
+	})
+
+	return a.Out.Infer(ctx, attnOut, batch*tokens)
+}
+
+// Infer runs the pre-norm block with both residual sums in the arena.
+func (b *Block) Infer(ctx *InferCtx, x []float32, batch, tokens int) []float32 {
+	rows := batch * tokens
+	h := b.LN1.Infer(ctx, x, rows)
+	h = b.Attn.Infer(ctx, h, batch, tokens)
+	y1 := ctx.Take(len(x))
+	tensor.Add(y1, x, h)
+
+	h2 := b.LN2.Infer(ctx, y1, rows)
+	h2 = b.MLP.Infer(ctx, h2, rows)
+	y2 := ctx.Take(len(x))
+	tensor.Add(y2, y1, h2)
+	return y2
+}
+
+// Infer embeds flattened patches and adds the fixed positional table,
+// writing into the arena instead of the layer's buffer.
+func (pe *PatchEmbed) Infer(ctx *InferCtx, patches []float32, batch int) []float32 {
+	rows := batch * pe.Tokens
+	y := pe.Proj.Infer(ctx, patches, rows)
+	w := pe.Width
+	parallel.RangeGrain(rows, 1+parallel.MinGrain/(w+1), func(lo, hi int) {
+		for rIdx := lo; rIdx < hi; rIdx++ {
+			pos := pe.Pos[(rIdx%pe.Tokens)*w : (rIdx%pe.Tokens+1)*w]
+			yi := y[rIdx*w : (rIdx+1)*w]
+			for j := range yi {
+				yi[j] += pos[j]
+			}
+		}
+	})
+	return y
+}

@@ -60,8 +60,15 @@ type Result struct {
 // Run trains a linear probe on frozen features over ds and returns the
 // accuracy trajectory.
 func Run(cfg Config, features FeatureFunc, featDim int, ds *geodata.Dataset) (*Result, error) {
+	_, res, err := fitHead(cfg, features, featDim, ds)
+	return res, err
+}
+
+// fitHead is the single probing implementation behind Run and FitHead:
+// train the standardized linear classifier, then snapshot it.
+func fitHead(cfg Config, features FeatureFunc, featDim int, ds *geodata.Dataset) (*Head, *Result, error) {
 	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
-		return nil, fmt.Errorf("probe: non-positive batch size or epochs")
+		return nil, nil, fmt.Errorf("probe: non-positive batch size or epochs")
 	}
 	fb := cfg.FeatureBatch
 	if fb <= 0 {
@@ -71,11 +78,11 @@ func Run(cfg Config, features FeatureFunc, featDim int, ds *geodata.Dataset) (*R
 
 	trainX, trainY, err := extract(features, featDim, fb, ds.TrainCount, ds.TrainSample, ds.Gen.ImageLen())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	testX, testY, err := extract(features, featDim, fb, ds.TestCount, ds.TestSample, ds.Gen.ImageLen())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Standardize features with train-split statistics — the equivalent
 	// of the (affine-free) BatchNorm the MAE linear-probing recipe
@@ -136,7 +143,7 @@ func Run(cfg Config, features FeatureFunc, featDim int, ds *geodata.Dataset) (*R
 	}
 	res.FinalTop1 = res.Top1Curve.Last()
 	res.FinalTop5 = res.Top5Curve.Last()
-	return res, nil
+	return newHead(head, mean, invStd), res, nil
 }
 
 // featureStats returns per-dimension mean and inverse standard

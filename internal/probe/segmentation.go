@@ -49,23 +49,31 @@ type SegResult struct {
 // patchSize must match the encoder's patch size so token labels align.
 func RunSegmentation(cfg SegConfig, features TokenFeatureFunc, featDim int,
 	ds *geodata.Dataset, patchSize int) (*SegResult, error) {
+	_, res, err := fitSegHead(cfg, features, featDim, ds, patchSize)
+	return res, err
+}
+
+// fitSegHead is the single implementation behind RunSegmentation and
+// FitSegHead.
+func fitSegHead(cfg SegConfig, features TokenFeatureFunc, featDim int,
+	ds *geodata.Dataset, patchSize int) (*Head, *SegResult, error) {
 	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
-		return nil, fmt.Errorf("probe: non-positive epochs or batch size")
+		return nil, nil, fmt.Errorf("probe: non-positive epochs or batch size")
 	}
 	gen := ds.Gen
 	if gen.Size%patchSize != 0 {
-		return nil, fmt.Errorf("probe: image %d not divisible by patch %d", gen.Size, patchSize)
+		return nil, nil, fmt.Errorf("probe: image %d not divisible by patch %d", gen.Size, patchSize)
 	}
 	grid := gen.Size / patchSize
 	tokens := grid * grid
 
 	trainX, trainY, err := extractTokens(features, featDim, cfg.BatchSize, ds, false, patchSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	testX, testY, err := extractTokens(features, featDim, cfg.BatchSize, ds, true, patchSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mean, invStd := featureStats(trainX, featDim)
 	standardize(trainX, mean, invStd, featDim)
@@ -122,7 +130,7 @@ func RunSegmentation(cfg SegConfig, features TokenFeatureFunc, featDim int,
 	res.PatchAccuracy = acc
 	res.MeanIoU = miou
 	res.PerClassIoU = perClass
-	return res, nil
+	return newHead(head, mean, invStd), res, nil
 }
 
 // extractTokens renders each image with its mask, extracts per-token

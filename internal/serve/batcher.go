@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Arrival is one scheduled request: an arrival time on the driver's
+// clock plus the payload. Open-loop load generation pre-builds the
+// whole schedule; closed-loop generation pushes each client's next
+// arrival when its previous response completes.
+type Arrival struct {
+	AtSec  float64
+	Kind   Kind
+	Img    []float32
+	Client int
+}
+
+// BatchRec records one closed batch: its members (request IDs in
+// admission order), why it closed ("size" when MaxBatch filled,
+// "deadline" when the oldest member aged past MaxWait), and its close
+// / compute-start / done times. The serving simulator reproduces this
+// record exactly; the wall-clock server produces the measured
+// counterpart.
+type BatchRec struct {
+	Seq    int
+	Engine int
+	IDs    []uint64
+	Kinds  []Kind
+	Reason string
+	// CloseSec is the batch-form event; StartSec/DoneSec bracket the
+	// engine execution. StartSec − CloseSec is the dispatch wait.
+	CloseSec, StartSec, DoneSec float64
+}
+
+// RunResult is one complete serving run: per-request responses
+// (indexed by request ID, which is admission order), the batch log,
+// and the makespan.
+type RunResult struct {
+	Cfg       Config
+	Lat       LatencyModel
+	Responses []*Response
+	Batches   []BatchRec
+	// MakespanSec is the completion time of the last response.
+	MakespanSec float64
+	// Shed counts admissions refused on a full queue.
+	Shed int
+}
+
+// pending is one admitted request waiting for or riding in a batch.
+type pending struct {
+	req  *Request
+	resp *Response
+}
+
+// arrivalEntry orders the future-arrival heap by (time, push order) so
+// simultaneous arrivals admit in a deterministic order.
+type arrivalEntry struct {
+	at  float64
+	seq int
+	a   Arrival
+}
+
+// policyRun is one execution of the deterministic batcher state
+// machine: a discrete-event loop whose only event types are "an
+// arrival admits", "the oldest waiting request hits the deadline"
+// (closing the batch), and "an engine frees" (launching the FIFO-next
+// closed batch). Ties at equal timestamps resolve in that priority
+// order reversed — engine launch first, then deadline close, then
+// arrival — so an arrival landing exactly on a deadline instant
+// misses the closing batch. The same machine drives the virtual
+// executor (exec ≠ nil: batches run real compute, time comes from the
+// latency model) and the serving simulator (exec = nil).
+type policyRun struct {
+	cfg Config
+	lat LatencyModel
+
+	// admit validates a request at admission (nil accepts everything).
+	admit func(kind Kind, img []float32) error
+	// exec runs a launched batch's compute (nil for simulation).
+	exec func(members []*pending)
+	// onDone fires per completed response, and may push follow-up
+	// arrivals — the closed-loop hook.
+	onDone func(resp *Response, doneSec float64, push func(Arrival))
+
+	heap    []arrivalEntry
+	heapSeq int
+
+	now         float64
+	waiting     []*pending
+	dispatch    []*batchJob
+	engineFree  []float64
+	outstanding int
+
+	responses []*Response
+	batches   []BatchRec
+	makespan  float64
+	shed      int
+}
+
+type batchJob struct {
+	rec     int
+	members []*pending
+	dur     float64
+}
+
+// push schedules a future arrival (heap ordered by time, then push
+// order).
+func (p *policyRun) push(a Arrival) {
+	e := arrivalEntry{at: a.AtSec, seq: p.heapSeq, a: a}
+	p.heapSeq++
+	p.heap = append(p.heap, e)
+	i := len(p.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(p.heap[i], p.heap[parent]) {
+			break
+		}
+		p.heap[i], p.heap[parent] = p.heap[parent], p.heap[i]
+		i = parent
+	}
+}
+
+func heapLess(a, b arrivalEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (p *policyRun) popArrival() Arrival {
+	top := p.heap[0]
+	last := len(p.heap) - 1
+	p.heap[0] = p.heap[last]
+	p.heap = p.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(p.heap) && heapLess(p.heap[l], p.heap[small]) {
+			small = l
+		}
+		if r < len(p.heap) && heapLess(p.heap[r], p.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		p.heap[i], p.heap[small] = p.heap[small], p.heap[i]
+		i = small
+	}
+	return top.a
+}
+
+// runPolicy drives the state machine to completion and packages the
+// result. arrivals seed the event heap; cfg must be valid.
+func runPolicy(cfg Config, lat LatencyModel,
+	admit func(Kind, []float32) error,
+	exec func([]*pending),
+	onDone func(*Response, float64, func(Arrival)),
+	arrivals []Arrival) *RunResult {
+
+	p := &policyRun{
+		cfg: cfg, lat: lat,
+		admit: admit, exec: exec, onDone: onDone,
+		engineFree: make([]float64, cfg.Workers),
+	}
+	for _, a := range arrivals {
+		p.push(a)
+	}
+	p.run()
+	return &RunResult{
+		Cfg: cfg, Lat: lat,
+		Responses:   p.responses,
+		Batches:     p.batches,
+		MakespanSec: p.makespan,
+		Shed:        p.shed,
+	}
+}
+
+func (p *policyRun) run() {
+	inf := math.Inf(1)
+	for {
+		p.startReady()
+
+		tArr := inf
+		if len(p.heap) > 0 {
+			tArr = p.heap[0].at
+		}
+		tDl := inf
+		if len(p.waiting) > 0 {
+			tDl = p.waiting[0].resp.Trace.ArrivalSec + p.cfg.MaxWaitSec
+		}
+		tEng := inf
+		if len(p.dispatch) > 0 {
+			for _, f := range p.engineFree {
+				if f < tEng {
+					tEng = f
+				}
+			}
+		}
+		if math.IsInf(tArr, 1) && math.IsInf(tDl, 1) && math.IsInf(tEng, 1) {
+			break
+		}
+		switch {
+		case tEng <= tDl && tEng <= tArr:
+			p.now = tEng // loop top launches the freed engine's batch
+		case tDl <= tArr:
+			p.now = tDl
+			p.closeBatch(len(p.waiting), "deadline")
+		default:
+			p.now = tArr
+			p.admitNext()
+		}
+	}
+	if len(p.waiting) > 0 || len(p.dispatch) > 0 || p.outstanding != 0 {
+		panic(fmt.Sprintf("serve: policy loop ended with %d waiting, %d dispatched, %d outstanding",
+			len(p.waiting), len(p.dispatch), p.outstanding))
+	}
+}
+
+// admitNext pops the earliest future arrival and admits, rejects, or
+// sheds it.
+func (p *policyRun) admitNext() {
+	a := p.popArrival()
+	id := uint64(len(p.responses))
+	resp := &Response{ID: id, Kind: a.Kind, Client: a.Client}
+	resp.Trace = trace.RequestTrace{ID: id, ArrivalSec: a.AtSec}
+	p.responses = append(p.responses, resp)
+
+	if p.admit != nil {
+		if err := p.admit(a.Kind, a.Img); err != nil {
+			p.complete(resp, err, a.AtSec)
+			return
+		}
+	}
+	if p.outstanding >= p.cfg.QueueCap {
+		p.shed++
+		p.complete(resp, ErrShed, a.AtSec)
+		return
+	}
+	p.outstanding++
+	p.waiting = append(p.waiting, &pending{
+		req:  &Request{ID: id, Kind: a.Kind, Img: a.Img, Client: a.Client},
+		resp: resp,
+	})
+	if len(p.waiting) >= p.cfg.MaxBatch {
+		p.closeBatch(p.cfg.MaxBatch, "size")
+	}
+}
+
+// complete finishes a request that never rides a batch (shed or
+// rejected): every trace point collapses onto the arrival instant.
+func (p *policyRun) complete(resp *Response, err error, at float64) {
+	resp.Err = err
+	resp.Trace.BatchFormSec = at
+	resp.Trace.ComputeStartSec = at
+	resp.Trace.DoneSec = at
+	if at > p.makespan {
+		p.makespan = at
+	}
+	if p.onDone != nil {
+		p.onDone(resp, at, p.push)
+	}
+}
+
+// closeBatch forms a batch from the k oldest waiting requests and
+// queues it for dispatch.
+func (p *policyRun) closeBatch(k int, reason string) {
+	members := append([]*pending(nil), p.waiting[:k]...)
+	copy(p.waiting, p.waiting[k:])
+	p.waiting = p.waiting[:len(p.waiting)-k]
+
+	ids := make([]uint64, k)
+	kinds := make([]Kind, k)
+	for i, m := range members {
+		ids[i] = m.req.ID
+		kinds[i] = m.req.Kind
+		m.resp.Trace.BatchFormSec = p.now
+	}
+	rec := BatchRec{
+		Seq: len(p.batches), Engine: -1,
+		IDs: ids, Kinds: kinds, Reason: reason,
+		CloseSec: p.now,
+	}
+	p.batches = append(p.batches, rec)
+	p.dispatch = append(p.dispatch, &batchJob{
+		rec: rec.Seq, members: members, dur: p.lat.BatchSec(kinds),
+	})
+}
+
+// startReady launches closed batches FIFO onto engines that are free
+// at the current instant (earliest-free engine, ties to the lowest
+// index).
+func (p *policyRun) startReady() {
+	for len(p.dispatch) > 0 {
+		e := -1
+		best := math.Inf(1)
+		for i, f := range p.engineFree {
+			if f < best {
+				best = f
+				e = i
+			}
+		}
+		if best > p.now {
+			return
+		}
+		job := p.dispatch[0]
+		copy(p.dispatch, p.dispatch[1:])
+		p.dispatch = p.dispatch[:len(p.dispatch)-1]
+
+		rec := &p.batches[job.rec]
+		rec.Engine = e
+		rec.StartSec = p.now
+		rec.DoneSec = p.now + job.dur
+		p.engineFree[e] = rec.DoneSec
+		p.outstanding -= len(job.members)
+		for _, m := range job.members {
+			tr := &m.resp.Trace
+			tr.ComputeStartSec = p.now
+			tr.DoneSec = rec.DoneSec
+			m.resp.BatchSeq = rec.Seq
+			m.resp.BatchSize = len(job.members)
+		}
+		if p.exec != nil {
+			p.exec(job.members)
+		}
+		if rec.DoneSec > p.makespan {
+			p.makespan = rec.DoneSec
+		}
+		if p.onDone != nil {
+			for _, m := range job.members {
+				p.onDone(m.resp, rec.DoneSec, p.push)
+			}
+		}
+	}
+}
+
+// RunVirtual executes a full serving run on a virtual clock: the
+// batcher policy admits/closes/launches on modeled time (lat), while
+// every launched batch runs its *real* compute on the shared weights —
+// so responses are bitwise reproducible and timings are exactly
+// repeatable, independent of host load. This is the deterministic half
+// of the serving test suite and the engine behind cmd/serve's virtual
+// mode.
+func RunVirtual(cfg Config, lat LatencyModel, model *Model, arrivals []Arrival) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	return runPolicy(cfg, lat, model.admissible, newModelExec(model), nil, arrivals), nil
+}

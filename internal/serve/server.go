@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// waiter is one wall-clock request parked in the server: its payload,
+// its response under construction, and the 1-buffered channel the
+// worker delivers on.
+type waiter struct {
+	req  *Request
+	resp *Response
+	done chan *Response
+}
+
+// wallBatch is one closed batch in flight to a worker. rec points into
+// the server's batch log (stable — the log stores pointers), and the
+// owning worker alone writes its Engine/Start/Done fields.
+type wallBatch struct {
+	rec     *BatchRec
+	members []*waiter
+}
+
+// Server is the wall-clock form of the batcher: Submit admits requests
+// from any goroutine, a deadline timer and the size trigger close
+// batches under the same policy as the virtual driver, and a fixed
+// pool of worker goroutines executes closed batches FIFO on the shared
+// read-only weights (one nn.InferCtx per worker). Timestamps come from
+// the host clock, so traces here are measurements — the validation
+// suite holds them to the simulator's predictions.
+type Server struct {
+	cfg   Config
+	model *Model
+	start time.Time
+
+	mu          sync.Mutex
+	waiting     []*waiter
+	outstanding int
+	nextID      uint64
+	closed      bool
+	timerGen    int
+	batches     []*BatchRec
+	shed        int
+	served      int
+
+	batchCh chan *wallBatch
+	wg      sync.WaitGroup
+}
+
+// Stats summarizes a drained server: request counts and the completed
+// batch log in close order.
+type Stats struct {
+	Served  int
+	Shed    int
+	Batches []BatchRec
+}
+
+// NewServer validates the configuration and starts cfg.Workers engine
+// goroutines over the shared model.
+func NewServer(cfg Config, model *Model) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		model: model,
+		start: time.Now(),
+		// Every queued batch holds ≥1 outstanding request and admission
+		// sheds past QueueCap, so QueueCap slots guarantee the in-lock
+		// channel send in closeLocked never blocks against a worker
+		// waiting for the lock.
+		batchCh: make(chan *wallBatch, cfg.QueueCap),
+	}
+	for e := 0; e < cfg.Workers; e++ {
+		s.wg.Add(1)
+		go s.worker(e)
+	}
+	return s, nil
+}
+
+// now returns seconds since the server started — the wall-clock
+// counterpart of the virtual driver's event time.
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+// Submit admits one request and returns a 1-buffered channel that will
+// carry the response. Rejected and shed requests complete immediately
+// (the response carries the error); the channel always delivers exactly
+// one response.
+func (s *Server) Submit(kind Kind, img []float32) (<-chan *Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	now := s.now()
+	id := s.nextID
+	s.nextID++
+	resp := &Response{ID: id, Kind: kind}
+	resp.Trace = trace.RequestTrace{ID: id, ArrivalSec: now}
+	done := make(chan *Response, 1)
+
+	finish := func(err error) {
+		resp.Err = err
+		resp.Trace.BatchFormSec = now
+		resp.Trace.ComputeStartSec = now
+		resp.Trace.DoneSec = now
+		done <- resp
+	}
+	if err := s.model.admissible(kind, img); err != nil {
+		finish(err)
+		return done, nil
+	}
+	if s.outstanding >= s.cfg.QueueCap {
+		s.shed++
+		finish(ErrShed)
+		return done, nil
+	}
+	s.outstanding++
+	s.waiting = append(s.waiting, &waiter{
+		req:  &Request{ID: id, Kind: kind, Img: img},
+		resp: resp,
+		done: done,
+	})
+	if len(s.waiting) >= s.cfg.MaxBatch {
+		s.closeLocked(s.cfg.MaxBatch, "size", now)
+	} else if len(s.waiting) == 1 {
+		s.armTimerLocked(now)
+	}
+	return done, nil
+}
+
+// armTimerLocked schedules the deadline close for the current oldest
+// waiting request. The generation counter invalidates stale timers
+// (ones armed before a size close emptied the queue).
+func (s *Server) armTimerLocked(now float64) {
+	if len(s.waiting) == 0 || s.cfg.MaxWaitSec <= 0 {
+		if len(s.waiting) > 0 {
+			// Zero-wait config: close immediately.
+			s.closeLocked(len(s.waiting), "deadline", now)
+		}
+		return
+	}
+	s.timerGen++
+	gen := s.timerGen
+	delay := s.waiting[0].resp.Trace.ArrivalSec + s.cfg.MaxWaitSec - now
+	if delay < 0 {
+		delay = 0
+	}
+	time.AfterFunc(time.Duration(delay*float64(time.Second)), func() {
+		s.deadlineFire(gen)
+	})
+}
+
+// deadlineFire closes all waiting requests if the arming generation is
+// still current.
+func (s *Server) deadlineFire(gen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || gen != s.timerGen || len(s.waiting) == 0 {
+		return
+	}
+	s.closeLocked(len(s.waiting), "deadline", s.now())
+}
+
+// closeLocked forms a batch from the k oldest waiting requests and
+// hands it to the worker pool. Caller holds s.mu.
+func (s *Server) closeLocked(k int, reason string, now float64) {
+	members := append([]*waiter(nil), s.waiting[:k]...)
+	copy(s.waiting, s.waiting[k:])
+	s.waiting = s.waiting[:len(s.waiting)-k]
+
+	ids := make([]uint64, k)
+	kinds := make([]Kind, k)
+	for i, m := range members {
+		ids[i] = m.req.ID
+		kinds[i] = m.req.Kind
+		m.resp.Trace.BatchFormSec = now
+	}
+	rec := &BatchRec{
+		Seq: len(s.batches), Engine: -1,
+		IDs: ids, Kinds: kinds, Reason: reason,
+		CloseSec: now,
+	}
+	s.batches = append(s.batches, rec)
+	s.batchCh <- &wallBatch{rec: rec, members: members}
+	// A size close can leave newer requests waiting; their deadline is
+	// the new oldest's.
+	s.timerGen++
+	if len(s.waiting) > 0 {
+		s.armTimerLocked(now)
+	}
+}
+
+// worker is one inference engine: it executes closed batches FIFO from
+// the shared channel with its own scratch arena over the shared
+// read-only weights.
+func (s *Server) worker(engine int) {
+	defer s.wg.Done()
+	ctx := nn.NewInferCtx()
+	for b := range s.batchCh {
+		startSec := s.now()
+		n := len(b.members)
+		s.mu.Lock()
+		s.outstanding -= n
+		s.served += n
+		s.mu.Unlock()
+
+		reqs := make([]*Request, n)
+		resps := make([]*Response, n)
+		for i, m := range b.members {
+			reqs[i] = m.req
+			resps[i] = m.resp
+			m.resp.Trace.ComputeStartSec = startSec
+			m.resp.BatchSeq = b.rec.Seq
+			m.resp.BatchSize = n
+		}
+		s.model.Fill(ctx, reqs, resps)
+		doneSec := s.now()
+		b.rec.Engine = engine
+		b.rec.StartSec = startSec
+		b.rec.DoneSec = doneSec
+		for _, m := range b.members {
+			m.resp.Trace.DoneSec = doneSec
+			m.done <- m.resp
+		}
+	}
+}
+
+// Drain closes admission, flushes any still-waiting requests as a
+// final batch, waits for every worker to finish, and returns the run's
+// statistics. After Drain, Submit returns ErrClosed.
+func (s *Server) Drain() Stats {
+	s.mu.Lock()
+	s.closed = true
+	s.timerGen++ // cancel any armed deadline
+	if len(s.waiting) > 0 {
+		s.closeLocked(len(s.waiting), "drain", s.now())
+	}
+	s.mu.Unlock()
+	close(s.batchCh)
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Served: s.served, Shed: s.shed}
+	st.Batches = make([]BatchRec, len(s.batches))
+	for i, r := range s.batches {
+		st.Batches[i] = *r
+	}
+	return st
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SimReplay is a serving simulation cross-checked against the
+// internal/sim discrete-event engine: the policy run itself plus the
+// quantities the replay exposes — per-batch dispatch wait (how long a
+// closed batch sat behind busy engines) and per-engine busy time.
+type SimReplay struct {
+	Run *RunResult
+	// DispatchWaitSec[b] is batch b's StartSec − CloseSec as recovered
+	// by sim.Task.QueueDelay on the replayed task graph.
+	DispatchWaitSec []float64
+	// EngineBusySec[e] is the total modeled compute time on engine e.
+	EngineBusySec []float64
+}
+
+// Utilization returns aggregate engine busy time over engines ×
+// makespan (0 for an empty run).
+func (r *SimReplay) Utilization() float64 {
+	if r.Run.MakespanSec <= 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, b := range r.EngineBusySec {
+		busy += b
+	}
+	return busy / (float64(len(r.EngineBusySec)) * r.Run.MakespanSec)
+}
+
+// Simulate runs the serving policy with no compute at all — the pure
+// simulator — and then replays the resulting batch schedule through
+// the internal/sim engine (the same discrete-event machinery the FSDP
+// training simulator runs on) as a cross-check: each batch becomes a
+// task on its engine's FIFO stream, gated by a dependency that
+// finishes at the batch's close time, priced by the same
+// LatencyModel.BatchSec call the policy used. The two engines compute
+// start/end through identical float operations, so the replay must
+// agree bitwise; any mismatch is a policy bug and returns an error.
+//
+// Simulate assumes a well-formed request stream (no admission
+// validation — there is no model here to validate against); queue
+// sheds are still modeled exactly.
+func Simulate(cfg Config, lat LatencyModel, arrivals []Arrival) (*SimReplay, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	run := runPolicy(cfg, lat, nil, nil, nil, arrivals)
+
+	eng := sim.New()
+	engines := make([]*sim.Resource, cfg.Workers)
+	for e := range engines {
+		engines[e] = eng.Resource(fmt.Sprintf("engine%d", e))
+	}
+	// Batches launch FIFO, so Seq order is launch order — submitting in
+	// Seq order preserves each engine stream's true FIFO order.
+	tasks := make([]*sim.Task, len(run.Batches))
+	for i := range run.Batches {
+		b := &run.Batches[i]
+		closer := eng.Task(
+			fmt.Sprintf("close%d", b.Seq),
+			eng.Resource(fmt.Sprintf("closer%d", b.Seq)),
+			b.CloseSec,
+		)
+		tasks[i] = eng.Task(
+			fmt.Sprintf("batch%d", b.Seq),
+			engines[b.Engine],
+			lat.BatchSec(b.Kinds),
+			closer,
+		)
+	}
+	eng.Run()
+
+	rep := &SimReplay{
+		Run:             run,
+		DispatchWaitSec: make([]float64, len(run.Batches)),
+		EngineBusySec:   make([]float64, cfg.Workers),
+	}
+	for i, t := range tasks {
+		b := &run.Batches[i]
+		if t.Start != b.StartSec || t.End != b.DoneSec {
+			return nil, fmt.Errorf(
+				"serve: sim replay diverged on batch %d: policy [%v,%v], sim [%v,%v]",
+				b.Seq, b.StartSec, b.DoneSec, t.Start, t.End)
+		}
+		rep.DispatchWaitSec[i] = t.QueueDelay()
+	}
+	for e, r := range engines {
+		rep.EngineBusySec[e] = eng.BusyTime(r)
+	}
+	return rep, nil
+}

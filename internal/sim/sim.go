@@ -137,6 +137,26 @@ func (t *Task) earliestStart(r *Resource, head int) (float64, bool) {
 	return start, true
 }
 
+// QueueDelay returns how long the task sat runnable before its
+// resource got to it: Start minus the latest dependency End (or minus
+// zero when the task has no dependencies). Only meaningful after Run.
+// The serving simulator reads this off its batch tasks as the
+// dispatch-queue wait — a closed batch is runnable the moment its
+// members arrived, and any extra time is the engine being busy.
+func (t *Task) QueueDelay() float64 {
+	ready := 0.0
+	for _, d := range t.Deps {
+		if d.End > ready {
+			ready = d.End
+		}
+	}
+	d := t.Start - ready
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // BusyTime returns the total scheduled duration on r.
 func (e *Engine) BusyTime(r *Resource) float64 {
 	var s float64

@@ -223,6 +223,40 @@ func (a Agreement) String() string {
 		a.Label, 1e3*a.MeasuredSec, 1e3*a.PredictedSec, a.Ratio())
 }
 
+// RequestTrace is the per-request latency decomposition the serving
+// stack (internal/serve) stamps at its trace points: admission into
+// the queue, batch close (the dynamic batcher's form event), compute
+// launch on an engine, and completion. Times are seconds on the
+// server's clock — wall for the executed server, virtual for the
+// deterministic driver and the serving simulator — so the same type
+// carries both sides of the measured-vs-modeled comparison.
+type RequestTrace struct {
+	ID              uint64
+	ArrivalSec      float64
+	BatchFormSec    float64
+	ComputeStartSec float64
+	DoneSec         float64
+}
+
+// QueueWaitSec is the time from admission to compute launch — the
+// batcher-induced wait (waiting for the batch to close, plus the
+// closed batch waiting for a free engine).
+func (r RequestTrace) QueueWaitSec() float64 { return r.ComputeStartSec - r.ArrivalSec }
+
+// FormWaitSec is the portion of the queue wait spent before the batch
+// closed (bounded by the batcher's max-wait deadline).
+func (r RequestTrace) FormWaitSec() float64 { return r.BatchFormSec - r.ArrivalSec }
+
+// DispatchWaitSec is the portion spent after close, waiting for an
+// engine (nonzero only when every engine is busy).
+func (r RequestTrace) DispatchWaitSec() float64 { return r.ComputeStartSec - r.BatchFormSec }
+
+// ComputeSec is the batch execution time the request rode along with.
+func (r RequestTrace) ComputeSec() float64 { return r.DoneSec - r.ComputeStartSec }
+
+// TotalSec is admission-to-completion latency.
+func (r RequestTrace) TotalSec() float64 { return r.DoneSec - r.ArrivalSec }
+
 // MeanPower returns the trace's average power draw.
 func (t Trace) MeanPower() float64 {
 	if len(t.Samples) == 0 {

@@ -1,0 +1,16 @@
+package vit
+
+import "repro/internal/nn"
+
+// Infer runs the block stack without touching the layers' backward
+// caches: activations live in the caller's InferCtx, so a shared
+// read-only Encoder serves any number of worker goroutines, one ctx
+// each. The arithmetic is the training Forward's — same kernels, same
+// parallel grains — so the output is bitwise identical.
+func (e *Encoder) Infer(ctx *nn.InferCtx, x []float32, batch, tokens int) []float32 {
+	h := x
+	for _, b := range e.Blocks {
+		h = b.Infer(ctx, h, batch, tokens)
+	}
+	return e.Norm.Infer(ctx, h, batch*tokens)
+}

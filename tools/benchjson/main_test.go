@@ -86,6 +86,61 @@ PASS
 	}
 }
 
+// TestServingBenchGolden pins the conversion of `make bench-serve`
+// output — the serving benchmarks attach six custom metrics per run
+// (req/s, latency percentiles, occupancy, shed, utilization), and
+// BENCH_serve.json must carry every one of them.
+func TestServingBenchGolden(t *testing.T) {
+	const in = `goos: linux
+pkg: repro/internal/serve
+BenchmarkServe/batch=4/workers=1/load=0.5x-8         	       1	 212404105 ns/op	         3.122 batch-occ	       935.4 p50-ms	      1288 p99-ms	       941.1 req/s	         0 shed	         0.9847 util
+BenchmarkServeVirtual/batch=8/rate=2000-8            	     765	   1567768 ns/op	         6.061 batch-occ	         4.289 p50-ms	         7.120 p99-ms	      1873 req/s
+PASS
+ok  	repro/internal/serve	4.123s
+`
+	const want = `{
+  "meta": {
+    "goos": "linux"
+  },
+  "results": [
+    {
+      "name": "BenchmarkServe/batch=4/workers=1/load=0.5x-8",
+      "pkg": "repro/internal/serve",
+      "iterations": 1,
+      "metrics": {
+        "batch-occ": 3.122,
+        "ns/op": 212404105,
+        "p50-ms": 935.4,
+        "p99-ms": 1288,
+        "req/s": 941.1,
+        "shed": 0,
+        "util": 0.9847
+      }
+    },
+    {
+      "name": "BenchmarkServeVirtual/batch=8/rate=2000-8",
+      "pkg": "repro/internal/serve",
+      "iterations": 765,
+      "metrics": {
+        "batch-occ": 6.061,
+        "ns/op": 1567768,
+        "p50-ms": 4.289,
+        "p99-ms": 7.12,
+        "req/s": 1873
+      }
+    }
+  ]
+}
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != want {
+		t.Errorf("BENCH_serve JSON drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestEmptyInput: no input still yields a valid, empty document (the
 // Makefile pipes may legitimately see an empty bench run under -run
 // filters).
