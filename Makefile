@@ -24,7 +24,8 @@ test-all:
 
 race:
 	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./internal/mae/ ./internal/dataload/ ./internal/serve/ ./geofm/ ./cmd/pretrain/ ./cmd/serve/
-	$(GO) test -race -run BF16 ./internal/tensor/
+	$(GO) test -race -run 'BF16|Flash|ExpScaledSub|SoftmaxScaled' ./internal/tensor/
+	$(GO) test -race -run 'Fused|AttentionGradients|BlockGradients|InferMatches' ./internal/nn/
 
 # Docs gate: formatting, vet, and a package comment on every package.
 docs:

@@ -182,6 +182,24 @@ func (m *Model) EncoderParams() []*nn.Param {
 	return append(m.Embed.Params(), m.Encoder.Params()...)
 }
 
+// PackBF16 packs the encoder-side projection weights (embed + trunk —
+// everything InferTokenFeatures touches) into bf16 shadows so the
+// inference path streams 2-byte weights through the bf16-input GEMM.
+// Call it after any weight mutation (loading, rounding) and before
+// serving.
+func (m *Model) PackBF16() {
+	m.Embed.PackBF16()
+	m.Encoder.PackBF16()
+}
+
+// Release drops the encoder-side scratch buffers (embed + trunk).
+// Decoder scratch is left alone: a serving process never grows it, and
+// a training process re-grows everything on the next step anyway.
+func (m *Model) Release() {
+	m.Embed.Release()
+	m.Encoder.Release()
+}
+
 // sampleMask draws a fresh random mask for each image: keep visible
 // indices sorted so token order within the encoder is stable.
 func (m *Model) sampleMask(batch int) {

@@ -14,15 +14,20 @@ import (
 // whose FLOP profile internal/perfmodel mirrors for the Frontier
 // simulator).
 //
-// The layer owns its fused QKV projection and output projection and
-// caches the per-head attention probabilities for the backward pass.
-// Every per-head matrix product — S = Q·Kᵀ, O = P·V, and all five
-// backward products — runs through the blocked GEMM kernels in
-// internal/tensor. The head-interleaved operands (dO inside the
-// upstream (B·T × W) gradient, the per-head thirds of the fused
-// (B·T × 3W) QKV gradient) are addressed in place via the strided
-// MatMul*Ld entry points, so no per-token rearrangement loops or
-// per-head gradient scratch buffers remain.
+// The layer owns its fused QKV projection and output projection.
+// By default both passes run the fused tiled kernels
+// (tensor.FlashAttnFwd / FlashAttnBwd): online softmax over K/V
+// tiles, the 1/√d scale folded into the tile loop, and only the
+// per-row (max, exp-sum) statistics cached between forward and
+// backward — O(B·H·T) state instead of the O(B·H·T²) probability
+// matrices. SetFusedAttention(false) routes through the materialized
+// reference path, which forms the full per-head score matrix with the
+// blocked GEMM kernels and the scale-folded softmax ops; it is the
+// oracle the fused path is property-tested against. Either way the
+// head-interleaved operands (dO inside the upstream (B·T × W)
+// gradient, the per-head thirds of the fused (B·T × 3W) QKV gradient)
+// are addressed in place via strided entry points, so no per-token
+// rearrangement loops or per-head gradient scratch buffers remain.
 type MultiHeadAttention struct {
 	Width, Heads, HeadDim int
 
@@ -35,14 +40,36 @@ type MultiHeadAttention struct {
 	// kept packed because both the forward S = Q·Kᵀ and four of the
 	// backward products re-read them.
 	q, k, v []float32
-	// cached softmax probabilities, one (T×T) matrix per (b,h).
-	probs []float32
-	// scratch, grown once and reused across steps: forward output,
-	// fused QKV gradient, and the per-head dP/dS intermediates.
+	// fused path: per-row online softmax statistics, 2 per (b·h, t).
+	stats []float32
+	// materialized path only: cached softmax probabilities, one (T×T)
+	// matrix per (b,h), plus the dP/dS backward intermediates.
+	probs  []float32
+	dp, ds []float32
+	// scratch shared by both paths: forward output (re-read by the
+	// fused backward) and the fused QKV gradient.
 	attnOut []float32
 	dqkv    []float32
-	dp, ds  []float32
 }
+
+// fusedAttention selects the tiled kernel path; the materialized
+// reference stays available as the testing oracle.
+var fusedAttention = true
+
+// SetFusedAttention routes MultiHeadAttention (Forward/Backward and
+// Infer) through the fused tiled kernels (true, the default) or the
+// materialized reference path (false), returning the previous
+// setting. It is a process-wide dispatch switch for tests and
+// benchmarks, not a per-layer mode; flip it only around paired
+// forward/backward calls.
+func SetFusedAttention(on bool) bool {
+	prev := fusedAttention
+	fusedAttention = on
+	return prev
+}
+
+// FusedAttentionEnabled reports the current dispatch setting.
+func FusedAttentionEnabled() bool { return fusedAttention }
 
 // NewMultiHeadAttention builds the layer; width must be divisible by
 // heads.
@@ -64,6 +91,12 @@ func (a *MultiHeadAttention) Params() []*Param {
 	return append(a.QKV.Params(), a.Out.Params()...)
 }
 
+// PackBF16 packs both projections' bf16 weight shadows for inference.
+func (a *MultiHeadAttention) PackBF16() {
+	a.QKV.PackBF16()
+	a.Out.PackBF16()
+}
+
 // Forward runs self-attention over batch sequences of tokens tokens
 // each; x has shape (batch·tokens × width).
 func (a *MultiHeadAttention) Forward(x []float32, batch, tokens int) []float32 {
@@ -76,7 +109,6 @@ func (a *MultiHeadAttention) Forward(x []float32, batch, tokens int) []float32 {
 	a.q = grow(a.q, bh*tokens*d)
 	a.k = grow(a.k, bh*tokens*d)
 	a.v = grow(a.v, bh*tokens*d)
-	a.probs = grow(a.probs, bh*tokens*tokens)
 	a.attnOut = grow(a.attnOut, batch*tokens*w)
 
 	// Rearrange fused (B·T × 3W) into per-(b,h) contiguous (T × D).
@@ -92,23 +124,36 @@ func (a *MultiHeadAttention) Forward(x []float32, batch, tokens int) []float32 {
 	})
 
 	scale := float32(1 / math.Sqrt(float64(d)))
-	parallel.ForGrain(bh, 1, func(i int) {
-		q := a.q[i*tokens*d : (i+1)*tokens*d]
-		k := a.k[i*tokens*d : (i+1)*tokens*d]
-		v := a.v[i*tokens*d : (i+1)*tokens*d]
-		p := a.probs[i*tokens*tokens : (i+1)*tokens*tokens]
-		// S = scale·Q·Kᵀ, softmaxed in place into the probs cache.
-		tensor.MatMulTB(p, q, k, tokens, d, tokens, false)
-		for j := range p {
-			p[j] *= scale
-		}
-		tensor.Softmax(p, p, tokens, tokens)
-		// Per-head output O = P·V, written as a strided (T × D) tile
-		// straight into the (B·T × W) layout.
-		b, hh := i/h, i%h
-		tensor.MatMulLd(a.attnOut[(b*tokens)*w+hh*d:], p, v,
-			tokens, tokens, d, tokens, d, w, false)
-	})
+	if fusedAttention {
+		a.stats = grow(a.stats, bh*2*tokens)
+		parallel.ForGrain(bh, 1, func(i int) {
+			q := a.q[i*tokens*d : (i+1)*tokens*d]
+			k := a.k[i*tokens*d : (i+1)*tokens*d]
+			v := a.v[i*tokens*d : (i+1)*tokens*d]
+			// O written as a strided (T × D) tile straight into the
+			// (B·T × W) layout; only the (m, l) stats are cached.
+			b, hh := i/h, i%h
+			tensor.FlashAttnFwd(a.attnOut[(b*tokens)*w+hh*d:], w, q, k, v,
+				tokens, d, scale, a.stats[i*2*tokens:(i+1)*2*tokens])
+		})
+	} else {
+		a.probs = grow(a.probs, bh*tokens*tokens)
+		parallel.ForGrain(bh, 1, func(i int) {
+			q := a.q[i*tokens*d : (i+1)*tokens*d]
+			k := a.k[i*tokens*d : (i+1)*tokens*d]
+			v := a.v[i*tokens*d : (i+1)*tokens*d]
+			p := a.probs[i*tokens*tokens : (i+1)*tokens*tokens]
+			// S = Q·Kᵀ, softmaxed in place into the probs cache with
+			// the 1/√d scale folded into the softmax pass.
+			tensor.MatMulTB(p, q, k, tokens, d, tokens, false)
+			tensor.SoftmaxScaled(p, p, tokens, tokens, scale)
+			// Per-head output O = P·V, written as a strided (T × D)
+			// tile straight into the (B·T × W) layout.
+			b, hh := i/h, i%h
+			tensor.MatMulLd(a.attnOut[(b*tokens)*w+hh*d:], p, v,
+				tokens, tokens, d, tokens, d, w, false)
+		})
+	}
 
 	return a.Out.Forward(a.attnOut, batch*tokens)
 }
@@ -122,11 +167,31 @@ func (a *MultiHeadAttention) Backward(dy []float32) []float32 {
 	dAttn := a.Out.Backward(dy) // (B·T × W)
 
 	bh := batch * h
-	a.dp = grow(a.dp, bh*tokens*tokens)
-	a.ds = grow(a.ds, bh*tokens*tokens)
 	a.dqkv = grow(a.dqkv, batch*tokens*3*w)
 
 	scale := float32(1 / math.Sqrt(float64(d)))
+	if fusedAttention {
+		parallel.ForGrain(bh, 1, func(i int) {
+			b, hh := i/h, i%h
+			q := a.q[i*tokens*d : (i+1)*tokens*d]
+			k := a.k[i*tokens*d : (i+1)*tokens*d]
+			v := a.v[i*tokens*d : (i+1)*tokens*d]
+			// This head's dO and O are strided (T × D) views; its dQ,
+			// dK, dV are the strided thirds of the fused (B·T × 3W)
+			// gradient. Probability tiles are recomputed inside the
+			// kernel from the cached (m, l) statistics.
+			do := dAttn[(b*tokens)*w+hh*d:]
+			o := a.attnOut[(b*tokens)*w+hh*d:]
+			dqkvH := a.dqkv[(b*tokens)*3*w:]
+			tensor.FlashAttnBwd(dqkvH[hh*d:], dqkvH[w+hh*d:], dqkvH[2*w+hh*d:], 3*w,
+				do, o, w, q, k, v, tokens, d, scale,
+				a.stats[i*2*tokens:(i+1)*2*tokens])
+		})
+		return a.QKV.Backward(a.dqkv)
+	}
+
+	a.dp = grow(a.dp, bh*tokens*tokens)
+	a.ds = grow(a.ds, bh*tokens*tokens)
 	parallel.ForGrain(bh, 1, func(i int) {
 		b, hh := i/h, i%h
 		q := a.q[i*tokens*d : (i+1)*tokens*d]
@@ -147,11 +212,9 @@ func (a *MultiHeadAttention) Backward(dy []float32) []float32 {
 			tokens, tokens, d, tokens, w, 3*w, false)
 		// dP = dO·Vᵀ
 		tensor.MatMulTBLd(dp, do, v, tokens, d, tokens, w, d, tokens, false)
-		// dS = softmax backward, then fold in the 1/√d scale.
-		tensor.SoftmaxBackward(ds, p, dp, tokens, tokens)
-		for j := range ds {
-			ds[j] *= scale
-		}
+		// dS = softmax backward with the 1/√d scale folded into its
+		// write pass (bitwise equal to the old separate scale sweep).
+		tensor.SoftmaxBackwardScaled(ds, p, dp, tokens, tokens, scale)
 		// dQ = dS·K into the Q third; dK = dSᵀ·Q into the K third.
 		tensor.MatMulLd(dqkvH[hh*d:], ds, k,
 			tokens, tokens, d, tokens, d, 3*w, false)
@@ -160,4 +223,17 @@ func (a *MultiHeadAttention) Backward(dy []float32) []float32 {
 	})
 
 	return a.QKV.Backward(a.dqkv)
+}
+
+// Release drops every scratch buffer the layer has grown — the
+// rearranged Q/K/V, softmax state, forward output, and gradient
+// scratch — so a layer that served one large batch does not pin that
+// batch's footprint forever. The next Forward simply re-grows what it
+// needs; weights are untouched.
+func (a *MultiHeadAttention) Release() {
+	a.q, a.k, a.v, a.stats = nil, nil, nil, nil
+	a.probs, a.dp, a.ds = nil, nil, nil
+	a.attnOut, a.dqkv = nil, nil
+	a.QKV.Release()
+	a.Out.Release()
 }

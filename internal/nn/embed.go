@@ -116,6 +116,15 @@ func (pe *PatchEmbed) Backward(dy []float32) []float32 {
 	return pe.Proj.Backward(dy)
 }
 
+// PackBF16 packs the projection's bf16 weight shadow for inference.
+func (pe *PatchEmbed) PackBF16() { pe.Proj.PackBF16() }
+
+// Release drops the embedding scratch; Pos and weights are kept.
+func (pe *PatchEmbed) Release() {
+	pe.Proj.Release()
+	pe.y = nil
+}
+
 // SinCos2D returns the fixed 2-D sine-cosine positional embedding table
 // of shape (gridH·gridW × dim), matching the get_2d_sincos_pos_embed
 // construction from the MAE reference code. dim must be divisible by 4.

@@ -31,6 +31,14 @@ func NewInferCtx() *InferCtx { return &InferCtx{} }
 // Slices returned by earlier Infer calls are invalid after Reset.
 func (c *InferCtx) Reset() { c.next = 0 }
 
+// Release frees the arena's buffers entirely, so a worker that served
+// one oversized batch stops pinning that batch's footprint. The next
+// Take re-grows from nothing.
+func (c *InferCtx) Release() {
+	c.bufs = nil
+	c.next = 0
+}
+
 // Take returns a length-n scratch slice owned by the arena, valid
 // until Reset. Contents are unspecified: every Infer method fully
 // overwrites what it takes, and callers needing zeroed memory (the
@@ -55,7 +63,14 @@ func (c *InferCtx) Take(n int) []float32 {
 func (l *Linear) Infer(ctx *InferCtx, x []float32, rows int) []float32 {
 	checkRows(len(x), rows, l.In, "Linear.Infer")
 	y := ctx.Take(rows * l.Out)
-	tensor.MatMul(y, x, l.W.Value.Data, rows, l.In, l.Out, false)
+	if l.WBF16 != nil {
+		// bf16 weight mode: stream the 2-byte encoding directly; the
+		// GEMM widens panels in its pack stage, so no fp32 round-trip
+		// buffer of the weights exists on this path.
+		tensor.MatMulBF16(y, x, l.WBF16, rows, l.In, l.Out, false)
+	} else {
+		tensor.MatMul(y, x, l.W.Value.Data, rows, l.In, l.Out, false)
+	}
 	b := l.B.Value.Data
 	for i := 0; i < rows; i++ {
 		yi := y[i*l.Out : (i+1)*l.Out]
@@ -120,10 +135,13 @@ func (m *MLP) Infer(ctx *InferCtx, x []float32, rows int) []float32 {
 }
 
 // Infer runs self-attention with every intermediate (fused QKV, the
-// per-head Q/K/V rearrangement, the probability matrices, the merged
-// head output) in the arena. The per-head products go through the
-// identical strided GEMM entry points as Forward, so the output is
-// bitwise equal to the training path.
+// per-head Q/K/V rearrangement, the merged head output) in the arena.
+// It follows the same fused/materialized dispatch as Forward and runs
+// the identical per-head kernels, so the output is bitwise equal to
+// the training path. On the fused path the arena never holds a (T×T)
+// buffer — only the O(B·H·T) statistics — which is what keeps a
+// serving worker's steady-state footprint independent of the score
+// matrix size.
 func (a *MultiHeadAttention) Infer(ctx *InferCtx, x []float32, batch, tokens int) []float32 {
 	w, h, d := a.Width, a.Heads, a.HeadDim
 	checkRows(len(x), batch*tokens, w, "MultiHeadAttention.Infer")
@@ -133,7 +151,6 @@ func (a *MultiHeadAttention) Infer(ctx *InferCtx, x []float32, batch, tokens int
 	q := ctx.Take(bh * tokens * d)
 	k := ctx.Take(bh * tokens * d)
 	v := ctx.Take(bh * tokens * d)
-	probs := ctx.Take(bh * tokens * tokens)
 	attnOut := ctx.Take(batch * tokens * w)
 
 	parallel.ForGrain(bh, 1, func(i int) {
@@ -148,20 +165,30 @@ func (a *MultiHeadAttention) Infer(ctx *InferCtx, x []float32, batch, tokens int
 	})
 
 	scale := float32(1 / math.Sqrt(float64(d)))
-	parallel.ForGrain(bh, 1, func(i int) {
-		qi := q[i*tokens*d : (i+1)*tokens*d]
-		ki := k[i*tokens*d : (i+1)*tokens*d]
-		vi := v[i*tokens*d : (i+1)*tokens*d]
-		p := probs[i*tokens*tokens : (i+1)*tokens*tokens]
-		tensor.MatMulTB(p, qi, ki, tokens, d, tokens, false)
-		for j := range p {
-			p[j] *= scale
-		}
-		tensor.Softmax(p, p, tokens, tokens)
-		b, hh := i/h, i%h
-		tensor.MatMulLd(attnOut[(b*tokens)*w+hh*d:], p, vi,
-			tokens, tokens, d, tokens, d, w, false)
-	})
+	if fusedAttention {
+		stats := ctx.Take(bh * 2 * tokens)
+		parallel.ForGrain(bh, 1, func(i int) {
+			qi := q[i*tokens*d : (i+1)*tokens*d]
+			ki := k[i*tokens*d : (i+1)*tokens*d]
+			vi := v[i*tokens*d : (i+1)*tokens*d]
+			b, hh := i/h, i%h
+			tensor.FlashAttnFwd(attnOut[(b*tokens)*w+hh*d:], w, qi, ki, vi,
+				tokens, d, scale, stats[i*2*tokens:(i+1)*2*tokens])
+		})
+	} else {
+		probs := ctx.Take(bh * tokens * tokens)
+		parallel.ForGrain(bh, 1, func(i int) {
+			qi := q[i*tokens*d : (i+1)*tokens*d]
+			ki := k[i*tokens*d : (i+1)*tokens*d]
+			vi := v[i*tokens*d : (i+1)*tokens*d]
+			p := probs[i*tokens*tokens : (i+1)*tokens*tokens]
+			tensor.MatMulTB(p, qi, ki, tokens, d, tokens, false)
+			tensor.SoftmaxScaled(p, p, tokens, tokens, scale)
+			b, hh := i/h, i%h
+			tensor.MatMulLd(attnOut[(b*tokens)*w+hh*d:], p, vi,
+				tokens, tokens, d, tokens, d, w, false)
+		})
+	}
 
 	return a.Out.Infer(ctx, attnOut, batch*tokens)
 }

@@ -99,7 +99,17 @@ type Workload struct {
 	// shrink to block boundaries, backward recomputes forward (+1×
 	// forward FLOPs).
 	ActCheckpoint bool
-	Prec          Precision
+	// FusedAttention prices the tiled-attention memory profile
+	// (tensor.FlashAttnFwd/Bwd): the (T×T) probability matrices are
+	// never materialized, so attention retains only the per-row
+	// (max, exp-sum) statistics — O(B·H·T) instead of O(B·H·T²) — and
+	// backward recomputes probability tiles on the fly. FLOPs are
+	// unchanged (the recompute is the same exp work the materialized
+	// path amortizes through memory). Off by default so existing
+	// calibrated profiles and goldens keep the materialized
+	// accounting.
+	FusedAttention bool
+	Prec           Precision
 }
 
 // ViTWorkload is the plain supervised-ViT profile used in Sections
@@ -313,8 +323,14 @@ func (w Workload) TotalParams() int64 {
 
 // ActivationBytes estimates per-GPU activation memory. Without
 // checkpointing the dominant terms are kAct buffers of (B·T·W) per
-// block plus the T² attention probabilities; with checkpointing only
+// block plus the attention state; with checkpointing only
 // block-boundary activations plus one block's working set remain.
+//
+// The attention state depends on the kernel: the materialized path
+// retains the (T×T) probabilities per (batch, head) — b·h·t²·cb per
+// block — while the fused tiled path (FusedAttention) retains only the
+// two per-row softmax statistics, 2·b·h·t·cb per block, recomputing
+// probability tiles during backward.
 func (w Workload) ActivationBytes() float64 {
 	b := float64(w.LocalBatch)
 	t := float64(w.EncoderTokens)
@@ -322,13 +338,16 @@ func (w Workload) ActivationBytes() float64 {
 	d := float64(w.Model.Depth)
 	h := float64(w.Model.Heads)
 	cb := w.Prec.ComputeBytes
-	const kAct = 8 // linear-term buffers retained per block for backward
+	const kAct = 8                  // linear-term buffers retained per block for backward
+	attnState := b * h * t * t * cb // per block, materialized path
+	if w.FusedAttention {
+		attnState = 2 * b * h * t * cb
+	}
 	if w.ActCheckpoint {
 		boundaries := b * t * wd * d * cb
-		working := b*t*(6*wd+float64(w.Model.MLP))*cb + b*h*t*t*cb
+		working := b*t*(6*wd+float64(w.Model.MLP))*cb + attnState
 		return boundaries + working
 	}
 	linear := b * t * wd * d * kAct * cb
-	attn := b * h * t * t * d * cb
-	return linear + attn
+	return linear + attnState*d
 }

@@ -147,6 +147,48 @@ func TestServeBF16(t *testing.T) {
 	}
 }
 
+// stripBF16Shadows removes every packed bf16 weight shadow so the
+// inference path falls back to the fp32 (pre-rounded) weights.
+func stripBF16Shadows(m *Model) {
+	m.MAE.Embed.Proj.WBF16 = nil
+	for _, b := range m.MAE.Encoder.Blocks {
+		b.Attn.QKV.WBF16 = nil
+		b.Attn.Out.WBF16 = nil
+		b.MLP.FC1.WBF16 = nil
+		b.MLP.FC2.WBF16 = nil
+	}
+}
+
+// TestServeBF16PackedWeightsBitwise pins the bf16 compute contract:
+// serving through the packed 2-byte weight shadows (tensor.MatMulBF16,
+// widen-in-pack) is bitwise identical to serving through the rounded
+// fp32 weights. This is what lets the packed mode drop the fp32 weight
+// round-trip without perturbing a single served value.
+func TestServeBF16PackedWeightsBitwise(t *testing.T) {
+	serveOne := func(m *Model, img []float32) *Response {
+		reqs := []*Request{{ID: 0, Kind: Embed, Img: img}}
+		resps := []*Response{{ID: 0, Kind: Embed}}
+		m.Fill(nn.NewInferCtx(), reqs, resps)
+		return resps[0]
+	}
+	m := tinyModel(7)
+	m.RoundBF16()
+	if m.MAE.Embed.Proj.WBF16 == nil {
+		t.Fatal("RoundBF16 did not pack bf16 weight shadows")
+	}
+	img := imageFn(m, 24)(0)
+
+	packed := serveOne(m, img)
+	stripBF16Shadows(m)
+	fp32 := serveOne(m, img)
+	for j := range packed.Embedding {
+		if packed.Embedding[j] != fp32.Embedding[j] {
+			t.Fatalf("embedding[%d]: packed bf16 %v, fp32 %v (must be bitwise equal)",
+				j, packed.Embedding[j], fp32.Embedding[j])
+		}
+	}
+}
+
 // FuzzInferBF16 fuzzes single-image payloads through the bf16 serving
 // mode and asserts the boundary properties that must hold for *any*
 // finite input: input rounding is idempotent, outputs are finite, and

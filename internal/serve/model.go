@@ -27,9 +27,13 @@ type Model struct {
 	// them with ErrNoHead.
 	Seg *probe.Head
 	// BF16 marks the reduced-precision serving mode: weights were
-	// rounded to bf16 once at load (RoundBF16) and request images are
-	// rounded at ingest. Compute stays fp32, matching the repo's
-	// wire-only bf16 discipline.
+	// rounded to bf16 once at load (RoundBF16), request images are
+	// rounded at ingest, and the encoder-side projections carry packed
+	// 2-byte weight shadows that the inference GEMM widens in its pack
+	// stage (tensor.MatMulBF16) — no fp32 copy of those weights is
+	// materialized on the serving path. Accumulation stays fp32, and
+	// because the weights are pre-rounded the bf16-input GEMM is
+	// bitwise identical to the fp32 GEMM over the rounded values.
 	BF16 bool
 }
 
@@ -62,9 +66,11 @@ func (m *Model) AttachHeads(cls, seg *probe.Head) {
 }
 
 // RoundBF16 rounds every encoder-side weight and head weight to
-// bfloat16 (round-to-nearest-even) in place and flags the model, so
-// the serving path answers from bf16-resolution parameters. Call once
-// at load time, before the first request.
+// bfloat16 (round-to-nearest-even) in place, packs the encoder
+// projections' bf16 weight shadows for the bf16-input GEMM, and flags
+// the model, so the serving path answers from bf16-resolution
+// parameters without widening them back to fp32. Call once at load
+// time, before the first request.
 func (m *Model) RoundBF16() {
 	for _, p := range m.MAE.Params() {
 		tensor.RoundBF16(p.Value.Data, p.Value.Data)
@@ -75,6 +81,7 @@ func (m *Model) RoundBF16() {
 			tensor.RoundBF16(h.B, h.B)
 		}
 	}
+	m.MAE.PackBF16()
 	m.BF16 = true
 }
 

@@ -1,0 +1,402 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tolerances for fused-vs-materialized attention agreement. The fused
+// path differs from the reference by (a) the float32 polynomial exp
+// vs float64 math.Exp, (b) deferred 1/l normalization instead of
+// normalizing P before the V product, and (c) tile-ordered summation
+// with online max corrections. Each is a few-ulp effect; the
+// documented contract is 1e-3 relative on forward outputs and 5e-3 on
+// gradients (gradients amplify the dP−D cancellation).
+const (
+	flashFwdTol = 1e-3
+	flashBwdTol = 5e-3
+)
+
+// refAttnFwd is the materialized oracle: S = Q·Kᵀ, softmax(scale·S),
+// O = P·V through the regular blocked kernels. Returns the
+// probability matrix for the backward oracle.
+func refAttnFwd(o, q, k, v []float32, t, d int, scale float32) []float32 {
+	p := make([]float32, t*t)
+	MatMulTB(p, q, k, t, d, t, false)
+	SoftmaxScaled(p, p, t, t, scale)
+	MatMul(o, p, v, t, t, d, false)
+	return p
+}
+
+// refAttnBwd is the materialized backward oracle over a cached P.
+func refAttnBwd(dq, dk, dv, do_, p, q, k, v []float32, t, d int, scale float32) {
+	dp := make([]float32, t*t)
+	ds := make([]float32, t*t)
+	MatMulTA(dv, p, do_, t, t, d, false)
+	MatMulTB(dp, do_, v, t, d, t, false)
+	SoftmaxBackwardScaled(ds, p, dp, t, t, scale)
+	MatMul(dq, ds, k, t, t, d, false)
+	MatMulTA(dk, ds, q, t, t, d, false)
+}
+
+func randSlice(r *rand.Rand, n int, scale float64) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(r.NormFloat64() * scale)
+	}
+	return s
+}
+
+// TestFlashAttnProperty holds fused forward+backward to the
+// materialized reference across shapes chosen to hit every tile
+// remainder: T below/at/above the Q block (48) and K/V tile (128)
+// sizes, odd T and d, d below/at/above the micro-kernel width.
+func TestFlashAttnProperty(t *testing.T) {
+	shapes := []struct{ tok, d int }{
+		{1, 1}, {2, 3}, {5, 4}, {7, 16}, {13, 8},
+		{31, 5}, {47, 64}, {48, 32}, {49, 17},
+		{96, 64}, {127, 48}, {128, 64}, {129, 33},
+		{197, 64}, {200, 80},
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, sh := range shapes {
+		tok, d := sh.tok, sh.d
+		scale := float32(1 / math.Sqrt(float64(d)))
+		q := randSlice(r, tok*d, 1)
+		k := randSlice(r, tok*d, 1)
+		v := randSlice(r, tok*d, 1)
+		do_ := randSlice(r, tok*d, 1)
+
+		oRef := make([]float32, tok*d)
+		p := refAttnFwd(oRef, q, k, v, tok, d, scale)
+
+		oF := make([]float32, tok*d)
+		stats := make([]float32, 2*tok)
+		FlashAttnFwd(oF, d, q, k, v, tok, d, scale, stats)
+		if i, ok := relClose(oF, oRef, flashFwdTol); !ok {
+			t.Fatalf("T=%d d=%d: fused forward diverged at %d: %v vs %v", tok, d, i, oF[i], oRef[i])
+		}
+		// stats invariant: exp-sums are positive and finite, maxes are
+		// the row maxima of the scaled scores.
+		for i := 0; i < tok; i++ {
+			l := float64(stats[2*i+1])
+			if !(l > 0) || math.IsInf(l, 0) {
+				t.Fatalf("T=%d d=%d: bad exp-sum stats[%d]=%v", tok, d, i, l)
+			}
+		}
+
+		dqRef := make([]float32, tok*d)
+		dkRef := make([]float32, tok*d)
+		dvRef := make([]float32, tok*d)
+		refAttnBwd(dqRef, dkRef, dvRef, do_, p, q, k, v, tok, d, scale)
+
+		dq := make([]float32, tok*d)
+		dk := make([]float32, tok*d)
+		dv := make([]float32, tok*d)
+		FlashAttnBwd(dq, dk, dv, d, do_, oF, d, q, k, v, tok, d, scale, stats)
+		for _, pair := range []struct {
+			name      string
+			got, want []float32
+		}{{"dQ", dq, dqRef}, {"dK", dk, dkRef}, {"dV", dv, dvRef}} {
+			if i, ok := relClose(pair.got, pair.want, flashBwdTol); !ok {
+				t.Fatalf("T=%d d=%d: fused %s diverged at %d: %v vs %v",
+					tok, d, pair.name, i, pair.got[i], pair.want[i])
+			}
+		}
+	}
+}
+
+// TestFlashAttnStrided runs the fused kernels with the strided
+// output/gradient layouts nn uses (head tiles inside wider rows) and
+// checks the gutters are never touched.
+func TestFlashAttnStrided(t *testing.T) {
+	tok, d := 53, 24
+	ldo, ldqkv := d+13, 3*d+7
+	scale := float32(1 / math.Sqrt(float64(d)))
+	r := rand.New(rand.NewSource(11))
+	q := randSlice(r, tok*d, 1)
+	k := randSlice(r, tok*d, 1)
+	v := randSlice(r, tok*d, 1)
+
+	const poison = float32(-777)
+	o := make([]float32, tok*ldo)
+	for i := range o {
+		o[i] = poison
+	}
+	stats := make([]float32, 2*tok)
+	FlashAttnFwd(o, ldo, q, k, v, tok, d, scale, stats)
+
+	oRef := make([]float32, tok*d)
+	refAttnFwd(oRef, q, k, v, tok, d, scale)
+	for i := 0; i < tok; i++ {
+		row := o[i*ldo : i*ldo+d]
+		if idx, ok := relClose(row, oRef[i*d:(i+1)*d], flashFwdTol); !ok {
+			t.Fatalf("strided forward row %d diverged at %d", i, idx)
+		}
+		for j := d; j < ldo; j++ {
+			if o[i*ldo+j] != poison {
+				t.Fatalf("forward touched gutter at row %d col %d", i, j)
+			}
+		}
+	}
+
+	do_ := make([]float32, tok*ldo)
+	for i := 0; i < tok; i++ {
+		copy(do_[i*ldo:i*ldo+d], randSlice(r, d, 1))
+	}
+	grads := make([]float32, tok*ldqkv)
+	for i := range grads {
+		grads[i] = poison
+	}
+	FlashAttnBwd(grads, grads[d:], grads[2*d:], ldqkv, do_, o, ldo, q, k, v, tok, d, scale, stats)
+	for i := 0; i < tok; i++ {
+		for j := 3 * d; j < ldqkv; j++ {
+			if grads[i*ldqkv+j] != poison {
+				t.Fatalf("backward touched gutter at row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+// TestFlashAttnPanics pins the named validation panics.
+func TestFlashAttnPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	q := make([]float32, 8)
+	o := make([]float32, 8)
+	stats := make([]float32, 4)
+	expectPanic("zero shape", func() { FlashAttnFwd(o, 4, q, q, q, 0, 4, 1, stats) })
+	expectPanic("short qkv", func() { FlashAttnFwd(o, 4, q[:3], q, q, 2, 4, 1, stats) })
+	expectPanic("short out", func() { FlashAttnFwd(o[:5], 4, q, q, q, 2, 4, 1, stats) })
+	expectPanic("short stats", func() { FlashAttnFwd(o, 4, q, q, q, 2, 4, 1, stats[:3]) })
+	expectPanic("bwd short grad", func() {
+		FlashAttnBwd(o[:5], o, o, 4, o, o, 4, q, q, q, 2, 4, 1, stats)
+	})
+}
+
+// FuzzFlashAttn fuzzes shapes and data seeds through fused-vs-
+// reference forward and backward agreement, extending the GEMM
+// property-fuzz pattern to the fused attention path.
+func FuzzFlashAttn(f *testing.F) {
+	f.Add(uint16(5), uint8(4), int64(1))
+	f.Add(uint16(49), uint8(16), int64(2))
+	f.Add(uint16(130), uint8(7), int64(3))
+	f.Fuzz(func(t *testing.T, tokRaw uint16, dRaw uint8, seed int64) {
+		tok := int(tokRaw)%150 + 1
+		d := int(dRaw)%72 + 1
+		scale := float32(1 / math.Sqrt(float64(d)))
+		r := rand.New(rand.NewSource(seed))
+		q := randSlice(r, tok*d, 1)
+		k := randSlice(r, tok*d, 1)
+		v := randSlice(r, tok*d, 1)
+		do_ := randSlice(r, tok*d, 1)
+
+		oRef := make([]float32, tok*d)
+		p := refAttnFwd(oRef, q, k, v, tok, d, scale)
+		o := make([]float32, tok*d)
+		stats := make([]float32, 2*tok)
+		FlashAttnFwd(o, d, q, k, v, tok, d, scale, stats)
+		if i, ok := relClose(o, oRef, flashFwdTol); !ok {
+			t.Fatalf("T=%d d=%d: forward diverged at %d: %v vs %v", tok, d, i, o[i], oRef[i])
+		}
+
+		dqRef := make([]float32, tok*d)
+		dkRef := make([]float32, tok*d)
+		dvRef := make([]float32, tok*d)
+		refAttnBwd(dqRef, dkRef, dvRef, do_, p, q, k, v, tok, d, scale)
+		dq := make([]float32, tok*d)
+		dk := make([]float32, tok*d)
+		dv := make([]float32, tok*d)
+		FlashAttnBwd(dq, dk, dv, d, do_, o, d, q, k, v, tok, d, scale, stats)
+		for _, pair := range []struct {
+			name      string
+			got, want []float32
+		}{{"dQ", dq, dqRef}, {"dK", dk, dkRef}, {"dV", dv, dvRef}} {
+			if i, ok := relClose(pair.got, pair.want, flashBwdTol); !ok {
+				t.Fatalf("T=%d d=%d: %s diverged at %d: %v vs %v",
+					tok, d, pair.name, i, pair.got[i], pair.want[i])
+			}
+		}
+	})
+}
+
+// TestFastExp holds the polynomial float32 exponential to math.Exp
+// over the full softmax argument range plus the denormal/overflow
+// boundaries.
+// TestExpScaledSub checks the batched exponential (vectorized on
+// AVX2 builds, scalar elsewhere) against scalar expf32 at 4e-6
+// relative accuracy across lengths that exercise the 8-lane body and
+// the tail, and pins the flush-to-zero cutoff.
+func TestExpScaledSub(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 3, 7, 8, 9, 16, 31, 128} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(r.Float64()*60 - 50) // exp args in [-56, 16) after scale/shift
+		}
+		dst := make([]float32, n)
+		const scale, m = 0.73, 5.5
+		expScaledSub(dst, src, scale, m)
+		for i, sv := range src {
+			want := expf32(scale*sv - m)
+			diff := math.Abs(float64(dst[i] - want))
+			if diff > 4e-6*math.Abs(float64(want)) {
+				t.Fatalf("n=%d expScaledSub[%d](%v) = %v, scalar %v", n, i, sv, dst[i], want)
+			}
+		}
+	}
+	// Below the cutoff both paths flush to exact zero.
+	src := make([]float32, 16)
+	for i := range src {
+		src[i] = -200
+	}
+	dst := make([]float32, 16)
+	expScaledSub(dst, src, 1, 0)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("expScaledSub(-200)[%d] = %v, want exact 0", i, v)
+		}
+	}
+}
+
+// TestMaxFloat32 checks the vectorized max against a scalar scan,
+// including max-in-tail and negative-only inputs.
+func TestMaxFloat32(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 7, 8, 9, 15, 16, 17, 100} {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(r.NormFloat64()) - 3
+		}
+		want := x[0]
+		for _, v := range x[1:] {
+			if v > want {
+				want = v
+			}
+		}
+		if got := maxFloat32(x); got != want {
+			t.Fatalf("maxFloat32(n=%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestFastExp(t *testing.T) {
+	for x := -87.0; x <= 2.0; x += 0.0037 {
+		got := float64(expf32(float32(x)))
+		want := math.Exp(x)
+		if math.Abs(got-want) > 4e-6*want {
+			t.Fatalf("expf32(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Below the normal-range cutoff the result flushes to zero (the
+	// subnormal tail contributes nothing to a softmax sum).
+	if got := expf32(-87.4); got != 0 {
+		t.Fatalf("expf32(-87.4) = %v, want flushed 0", got)
+	}
+	if got := expf32(float32(math.Inf(-1))); got != 0 {
+		t.Fatalf("expf32(-Inf) = %v, want 0", got)
+	}
+	if got := expf32(-1000); got != 0 {
+		t.Fatalf("expf32(-1000) = %v, want 0", got)
+	}
+	if got := expf32(0); got != 1 {
+		t.Fatalf("expf32(0) = %v, want 1", got)
+	}
+	if got := expf32(200); !math.IsInf(float64(got), 1) {
+		t.Fatalf("expf32(200) = %v, want +Inf", got)
+	}
+	if got := expf32(float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Fatalf("expf32(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestSoftmaxScaledBitwise pins the scale-fold contract: folding the
+// multiply into the softmax pass is bitwise identical to scaling the
+// input in place first (forward), and folding the gradient scale into
+// the write pass is bitwise identical to scaling dx afterwards
+// (backward). This is what lets the materialized attention path drop
+// its separate O(T²) scale sweeps without changing a single bit.
+func TestSoftmaxScaledBitwise(t *testing.T) {
+	rows, cols := 17, 39
+	scale := float32(1 / math.Sqrt(7.0))
+	r := rand.New(rand.NewSource(3))
+	x := randSlice(r, rows*cols, 2)
+	dy := randSlice(r, rows*cols, 1)
+
+	// Old ordering: scale in place, then plain softmax.
+	scaled := append([]float32(nil), x...)
+	for i := range scaled {
+		scaled[i] *= scale
+	}
+	want := make([]float32, rows*cols)
+	Softmax(want, scaled, rows, cols)
+	got := make([]float32, rows*cols)
+	SoftmaxScaled(got, x, rows, cols, scale)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SoftmaxScaled not bitwise at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Backward: plain backward then scale dx, vs folded.
+	wantDx := make([]float32, rows*cols)
+	SoftmaxBackward(wantDx, want, dy, rows, cols)
+	for i := range wantDx {
+		wantDx[i] *= scale
+	}
+	gotDx := make([]float32, rows*cols)
+	SoftmaxBackwardScaled(gotDx, want, dy, rows, cols, scale)
+	for i := range gotDx {
+		if gotDx[i] != wantDx[i] {
+			t.Fatalf("SoftmaxBackwardScaled not bitwise at %d: %v vs %v", i, gotDx[i], wantDx[i])
+		}
+	}
+}
+
+// TestSoftmaxValidation pins the named panics added to the softmax
+// family: undersized buffers (SoftmaxBackward previously had no check
+// at all) and degenerate shapes (softmaxRow previously read x[0] of a
+// zero-column row and died with a raw index panic).
+func TestSoftmaxValidation(t *testing.T) {
+	expectTensorPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || len(msg) < 7 || msg[:7] != "tensor:" {
+				t.Fatalf("%s: panic %v not tensor:-prefixed", name, r)
+			}
+		}()
+		fn()
+	}
+	buf := make([]float32, 12)
+	expectTensorPanic("SoftmaxBackward short dx", func() {
+		SoftmaxBackward(buf[:11], buf, buf, 3, 4)
+	})
+	expectTensorPanic("SoftmaxBackward short y", func() {
+		SoftmaxBackward(buf, buf[:11], buf, 3, 4)
+	})
+	expectTensorPanic("Softmax zero cols", func() {
+		Softmax(buf, buf, 3, 0)
+	})
+	expectTensorPanic("Softmax negative rows", func() {
+		Softmax(buf, buf, -1, 4)
+	})
+	expectTensorPanic("SoftmaxBackward zero cols", func() {
+		SoftmaxBackward(buf, buf, buf, 2, 0)
+	})
+	// rows == 0 stays a no-op for any cols, as before.
+	Softmax(nil, nil, 0, 0)
+	SoftmaxBackward(nil, nil, nil, 0, 5)
+}

@@ -1,0 +1,82 @@
+package tensor
+
+import "repro/internal/parallel"
+
+// bf16-input GEMM: C = A·B with the B operand stored as bf16 ([]uint16,
+// row-major k×n). This is the serving stack's weight format — weights
+// are rounded to bf16 once at load, and the GEMM streams the 2-byte
+// encoding directly, widening each panel inside the pack stage with
+// the dispatched fromBF16 vector kernel instead of round-tripping the
+// whole weight matrix through an fp32 buffer first. Widening is exact
+// (bf16 → float32 reattaches zero mantissa bits), and the compute
+// stage is gemmComputePacked — the same loop the fp32 path runs — so:
+//
+//	MatMulBF16(c, a, wbf16, ...) ≡ MatMul(c, a, FromBF16(wbf16), ...)
+//
+// bit-for-bit on every build (asm and purego take the same branch on
+// both sides). FuzzBF16Gemm pins that invariant; it is what keeps the
+// serve bf16 equivalence tests bitwise green after the switch.
+
+// MatMulBF16 computes C = A·B (or C += A·B when acc is true) with
+// A (m×k) float32 and B (k×n) bf16, both contiguous row-major.
+func MatMulBF16(c, a []float32, b []uint16, m, k, n int, acc bool) {
+	MatMulBF16Ld(c, a, b, m, k, n, k, n, n, acc)
+}
+
+// MatMulBF16Ld is MatMulBF16 with explicit leading dimensions.
+func MatMulBF16Ld(c, a []float32, b []uint16, m, k, n, lda, ldb, ldc int, acc bool) {
+	checkGEMMLd(len(c), len(a), len(b), m, k, n, lda, ldb, ldc, opNN, "MatMulBF16")
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		zeroC(c, m, n, ldc, acc)
+		return
+	}
+	if haveFastKernel && m*k*n >= smallGEMMFlops {
+		gemmBlockedBF16(c, a, b, m, k, n, lda, ldb, ldc, acc)
+		return
+	}
+	// Small problems and purego builds: widen B once into pooled
+	// scratch and run the same streaming kernel MatMulLd would pick
+	// for this size, preserving the bitwise-equals-widened invariant.
+	wbuf := getPack(&packBPool, k*n)
+	wb := *wbuf
+	for kk := 0; kk < k; kk++ {
+		fromBF16(wb[kk*n:kk*n+n], b[kk*ldb:kk*ldb+n])
+	}
+	MatMulLd(c, a, wb, m, k, n, lda, n, ldc, acc)
+	packBPool.Put(wbuf)
+}
+
+// gemmBlockedBF16 is gemmBlocked's opNN path with the B pack stage
+// widening bf16 panels; compute is shared via gemmComputePacked.
+func gemmBlockedBF16(c, a []float32, b []uint16, m, k, n, lda, ldb, ldc int, acc bool) {
+	nPanels := (n + nr - 1) / nr
+	bbuf := getPack(&packBPool, k*nPanels*nr)
+	bp := *bbuf
+	nStrips := (k + kcBlock - 1) / kcBlock
+	parallel.ForGrain(nStrips*nPanels, 8, func(idx int) {
+		p0 := (idx / nPanels) * kcBlock
+		jp := idx % nPanels
+		kcEff := min(kcBlock, k-p0)
+		j0 := jp * nr
+		jw := min(nr, n-j0)
+		packBPanelNBF16(bp[p0*nPanels*nr+jp*kcEff*nr:], b[p0*ldb:], kcEff, ldb, j0, jw)
+	})
+	gemmComputePacked(c, a, bp, m, k, n, lda, ldc, acc, opNN)
+	packBPool.Put(bbuf)
+}
+
+// packBPanelNBF16 mirrors packBPanelN for a bf16-encoded B, widening
+// each row segment with the dispatched vector kernel. The produced
+// panel is bitwise identical to packBPanelN over FromBF16(b).
+func packBPanelNBF16(dst []float32, b []uint16, kcEff, ldb, j0, jw int) {
+	for kk := 0; kk < kcEff; kk++ {
+		d := dst[kk*nr : kk*nr+nr]
+		fromBF16(d[:jw], b[kk*ldb+j0:kk*ldb+j0+jw])
+		for j := jw; j < nr; j++ {
+			d[j] = 0
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package tensor
+
+import "math"
+
+// expf32 is a fast scalar float32 exponential for the fused attention
+// kernels. The softmax-style arguments there are never positive (the
+// running row max has been subtracted), so the polynomial only has to
+// be accurate on (-inf, 0]; the positive side is still handled up to
+// the float32 overflow threshold for robustness.
+//
+// Standard Cephes-style reduction: x = n·ln2 + t with |t| ≤ ½·ln2,
+// e^x = 2^n · e^t, where e^t is a degree-5 minimax polynomial and 2^n
+// is assembled directly into the exponent bits. Relative error is a
+// few float32 ulps (≲1e-6), far below the documented fused-vs-
+// reference attention tolerance; math.Exp costs a float64 round trip
+// plus ~10× the latency, and at long sequence lengths the exp pass is
+// the dominant non-GEMM cost of attention.
+func expf32(x float32) float32 {
+	if x != x { // NaN propagates
+		return x
+	}
+	if x < -87.33655 { // e^x underflows float32
+		return 0
+	}
+	if x > 88.72283 { // e^x overflows float32
+		return float32(math.Inf(1))
+	}
+	// n = round(x / ln2); truncation after ±0.5 rounds half away from
+	// zero, which keeps |t| within the polynomial's fitted range.
+	z := x * 1.4426950408889634 // log2(e)
+	var n int32
+	if z >= 0 {
+		n = int32(z + 0.5)
+	} else {
+		n = int32(z - 0.5)
+	}
+	nf := float32(n)
+	// Two-constant Cephes split of ln2 keeps t accurate to float32
+	// even though nf·ln2 alone would lose low bits.
+	t := x - nf*0.693359375 + nf*2.12194440e-4
+	tt := t * t
+	p := float32(1.9875691500e-4)
+	p = p*t + 1.3981999507e-3
+	p = p*t + 8.3334519073e-3
+	p = p*t + 4.1665795894e-2
+	p = p*t + 1.6666665459e-1
+	p = p*t + 5.0000001201e-1
+	r := p*tt + t + 1
+	// 2^n for n in [-126, 127] via the biased exponent field; the
+	// underflow guard above keeps n ≥ -126, the overflow guard keeps
+	// n ≤ 128 (n=128 assembles +Inf, scaled by r ≈ 1).
+	return r * math.Float32frombits(uint32(n+127)<<23)
+}

@@ -1,0 +1,51 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// expScaledSubAVX2 computes dst[i] = exp(scale·src[i] − m) for the
+// first n floats, n a multiple of 8 (fastexp_amd64.s).
+//
+//go:noescape
+func expScaledSubAVX2(dst, src *float32, n int, scale, m float32)
+
+// maxAVX2 returns max(src[0:n]) for n ≥ 8 (fastexp_amd64.s).
+//
+//go:noescape
+func maxAVX2(src *float32, n int) float32
+
+// expScaledSub writes dst[i] = exp(scale·src[i] − m) over the common
+// length of dst and src. The AVX2 body and the scalar tail share the
+// Cephes reduction (ulp-level agreement, see fastexp.go); lanes below
+// the flush cutoff are exact zeros in both.
+func expScaledSub(dst, src []float32, scale, m float32) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	v := 0
+	if haveFMA && n >= 8 {
+		v = n &^ 7
+		expScaledSubAVX2(&dst[0], &src[0], v, scale, m)
+	}
+	for i := v; i < n; i++ {
+		dst[i] = expf32(scale*src[i] - m)
+	}
+}
+
+// maxFloat32 returns the maximum of x (len(x) ≥ 1), vectorized when
+// the CPU supports it.
+func maxFloat32(x []float32) float32 {
+	n := len(x)
+	v := 0
+	m := x[0]
+	if haveFMA && n >= 8 {
+		v = n &^ 7
+		m = maxAVX2(&x[0], v)
+	}
+	for i := v; i < n; i++ {
+		if x[i] > m {
+			m = x[i]
+		}
+	}
+	return m
+}

@@ -1,0 +1,140 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Shared constants for the 8-lane exponential. Same Cephes reduction
+// as the scalar expf32 (fastexp.go): z = x·log2e, n = round(z),
+// t = x − n·c1 + n·c2, degree-5 polynomial p(t), r = p·t² + t + 1,
+// result r·2ⁿ. The vector kernel rounds n to nearest-even (VROUNDPS)
+// where the scalar rounds half away from zero, and evaluates the
+// polynomial with FMAs — both are ulp-level differences well inside
+// the kernel's documented 4e-6 relative accuracy.
+DATA expconst<>+0x00(SB)/4, $0x3fb8aa3b // log2(e)
+DATA expconst<>+0x04(SB)/4, $0x3f318000 // c1 = 0.693359375
+DATA expconst<>+0x08(SB)/4, $0x395e8083 // c2 = 2.12194440e-4
+DATA expconst<>+0x0c(SB)/4, $0x39506967 // p0 = 1.9875691500e-4
+DATA expconst<>+0x10(SB)/4, $0x3ab743ce // p1 = 1.3981999507e-3
+DATA expconst<>+0x14(SB)/4, $0x3c088908 // p2 = 8.3334519073e-3
+DATA expconst<>+0x18(SB)/4, $0x3d2aa9c1 // p3 = 4.1665795894e-2
+DATA expconst<>+0x1c(SB)/4, $0x3e2aaaaa // p4 = 1.6666665459e-1
+DATA expconst<>+0x20(SB)/4, $0x3f000000 // p5 = 0.5
+DATA expconst<>+0x24(SB)/4, $0xc2aeac50 // flush cutoff −87.33655
+DATA expconst<>+0x28(SB)/4, $0xc2ae0000 // clamp −87.0 (keeps 2ⁿ normal)
+DATA expconst<>+0x2c(SB)/4, $0x3f800000 // 1.0
+DATA expconst<>+0x30(SB)/4, $0x0000007f // exponent bias 127
+GLOBL expconst<>(SB), RODATA, $52
+
+// func expScaledSubAVX2(dst, src *float32, n int, scale, m float32)
+//
+// dst[i] = exp(scale·src[i] − m) for i in [0, n), 8 lanes per step;
+// the caller handles the tail (n is rounded down to a multiple of 8
+// by the Go wrapper). Inputs below the flush cutoff produce exact 0
+// (no subnormals — lanes are clamped to −87 for the 2ⁿ construction
+// and zeroed by mask afterwards). Intended for the attention kernels,
+// where every argument is ≤ 0; positive arguments up to ~88 still
+// produce correct results but +Inf overflow is not special-cased.
+TEXT ·expScaledSubAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	VBROADCASTSS scale+24(FP), Y13
+	VBROADCASTSS m+28(FP), Y14
+
+	VBROADCASTSS expconst<>+0x00(SB), Y7  // log2e
+	VBROADCASTSS expconst<>+0x24(SB), Y8  // cutoff
+	VBROADCASTSS expconst<>+0x28(SB), Y9  // clamp
+	VBROADCASTSS expconst<>+0x2c(SB), Y10 // 1.0
+	VBROADCASTSS expconst<>+0x30(SB), Y11 // bias
+
+	SHRQ  $3, CX
+	TESTQ CX, CX
+	JLE   done
+
+loop:
+	// x = scale·src − m
+	VMOVUPS (SI), Y0
+	VMULPS  Y13, Y0, Y0
+	VSUBPS  Y14, Y0, Y0
+
+	// mask = x ≥ cutoff; x = max(x, clamp)
+	VCMPPS $0x0d, Y8, Y0, Y12 // GE_OS
+	VMAXPS Y9, Y0, Y0
+
+	// n = round(x·log2e); t = x − n·c1 + n·c2
+	VMULPS       Y7, Y0, Y1
+	VROUNDPS     $0, Y1, Y1
+	VBROADCASTSS expconst<>+0x04(SB), Y2
+	VFNMADD231PS Y2, Y1, Y0               // x -= n·c1
+	VBROADCASTSS expconst<>+0x08(SB), Y2
+	VFMADD231PS  Y2, Y1, Y0               // x += n·c2 (t in Y0)
+
+	// p = ((((p0·t+p1)·t+p2)·t+p3)·t+p4)·t+p5
+	VBROADCASTSS expconst<>+0x0c(SB), Y3
+	VBROADCASTSS expconst<>+0x10(SB), Y2
+	VFMADD213PS  Y2, Y0, Y3
+	VBROADCASTSS expconst<>+0x14(SB), Y2
+	VFMADD213PS  Y2, Y0, Y3
+	VBROADCASTSS expconst<>+0x18(SB), Y2
+	VFMADD213PS  Y2, Y0, Y3
+	VBROADCASTSS expconst<>+0x1c(SB), Y2
+	VFMADD213PS  Y2, Y0, Y3
+	VBROADCASTSS expconst<>+0x20(SB), Y2
+	VFMADD213PS  Y2, Y0, Y3
+
+	// r = p·t² + t + 1
+	VMULPS      Y0, Y0, Y2
+	VFMADD213PS Y0, Y2, Y3
+	VADDPS      Y10, Y3, Y3
+
+	// r·2ⁿ via (n+127)<<23, zeroed where x was below the cutoff
+	VCVTPS2DQ Y1, Y1
+	VPADDD    Y11, Y1, Y1
+	VPSLLD    $23, Y1, Y1
+	VMULPS    Y1, Y3, Y3
+	VANDPS    Y12, Y3, Y3
+	VMOVUPS   Y3, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func maxAVX2(src *float32, n int) float32
+//
+// Maximum of src[0:n] for n ≥ 8; the Go wrapper folds any tail
+// scalars. NaN lanes are not propagated reliably (VMAXPS picks the
+// second operand when either is NaN) — callers operate on finite
+// kernel output.
+TEXT ·maxAVX2(SB), NOSPLIT, $0-20
+	MOVQ src+0(FP), SI
+	MOVQ n+8(FP), CX
+
+	VMOVUPS (SI), Y0
+	SHRQ    $3, CX
+	DECQ    CX
+	ADDQ    $32, SI
+	TESTQ   CX, CX
+	JLE     reduce
+
+loop:
+	VMOVUPS (SI), Y1
+	VMAXPS  Y1, Y0, Y0
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     loop
+
+reduce:
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS       X1, X0, X0
+	VPSHUFD      $0x4e, X0, X1 // high pair → low
+	VMAXPS       X1, X0, X0
+	VPSHUFD      $0xb1, X0, X1 // swap within pair
+	VMAXPS       X1, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+16(FP)
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// expScaledSub writes dst[i] = exp(scale·src[i] − m) over the common
+// length of dst and src (scalar fallback; see fastexp_amd64.go for
+// the vector path).
+func expScaledSub(dst, src []float32, scale, m float32) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = expf32(scale*src[i] - m)
+	}
+}
+
+// maxFloat32 returns the maximum of x (len(x) ≥ 1).
+func maxFloat32(x []float32) float32 {
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -209,6 +209,18 @@ func gemmBlocked(c, a, b []float32, m, k, n, lda, ldb, ldc int, acc bool, op gem
 		}
 	})
 
+	gemmComputePacked(c, a, bp, m, k, n, lda, ldc, acc, op)
+	packBPool.Put(bbuf)
+}
+
+// gemmComputePacked runs the register-blocked compute loop over an
+// already fully packed B (the layout gemmBlocked's pack stage
+// produces). Factored out so alternate B encodings — the bf16 weight
+// path widens during packing — share one compute stage, which is also
+// what makes MatMulBF16 bitwise equal to MatMul on pre-widened
+// weights.
+func gemmComputePacked(c, a, bp []float32, m, k, n, lda, ldc int, acc bool, op gemmOp) {
+	nPanels := (n + nr - 1) / nr
 	// Parallel split is over mr-row micro-panel tiles, not raw rows, so
 	// every interior task boundary is micro-kernel aligned and only the
 	// true bottom edge of C ever takes the partial-tile path.
@@ -270,7 +282,6 @@ func gemmBlocked(c, a, b []float32, m, k, n, lda, ldb, ldc int, acc bool, op gem
 			}
 		}
 	})
-	packBPool.Put(bbuf)
 }
 
 // Packing scratch is recycled across GEMM calls and workers. A-slabs

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -116,29 +117,37 @@ func TopKIdx(a []float32, k int) []int {
 // Softmax computes a numerically stable softmax over each row of the
 // (rows × cols) matrix x, writing into dst (which may alias x).
 func Softmax(dst, x []float32, rows, cols int) {
-	if len(dst) < rows*cols || len(x) < rows*cols {
-		panic("tensor: Softmax buffer too small")
-	}
+	SoftmaxScaled(dst, x, rows, cols, 1)
+}
+
+// SoftmaxScaled computes softmax(scale·x) row-wise without a separate
+// scaling sweep: the multiply is folded into the max/exp pass, so the
+// result is bitwise identical to scaling x in place and then calling
+// Softmax (each element is scaled by exactly one float32 multiply
+// either way) while touching the row once less. scale=1 reproduces
+// Softmax exactly (·1.0 is the identity on every float32).
+func SoftmaxScaled(dst, x []float32, rows, cols int, scale float32) {
+	checkSoftmaxShape(rows, cols, "Softmax", dst, x)
 	parallel.RangeGrain(rows, 1+parallel.MinGrain/(cols+1), func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			xi := x[r*cols : r*cols+cols]
 			di := dst[r*cols : r*cols+cols]
-			softmaxRow(di, xi)
+			softmaxRow(di, xi, scale)
 		}
 	})
 }
 
-// softmaxRow computes one stable softmax row serially.
-func softmaxRow(dst, x []float32) {
-	maxv := x[0]
+// softmaxRow computes one stable softmax row serially over scale·x.
+func softmaxRow(dst, x []float32, scale float32) {
+	maxv := scale * x[0]
 	for _, v := range x[1:] {
-		if v > maxv {
-			maxv = v
+		if sv := scale * v; sv > maxv {
+			maxv = sv
 		}
 	}
 	var sum float64
 	for i, v := range x {
-		e := float32(math.Exp(float64(v - maxv)))
+		e := float32(math.Exp(float64(scale*v - maxv)))
 		dst[i] = e
 		sum += float64(e)
 	}
@@ -153,6 +162,16 @@ func softmaxRow(dst, x []float32) {
 // writes dx[i] = y[i] * (dy[i] - Σ_j y[j]·dy[j]) per row. dx may alias
 // dy.
 func SoftmaxBackward(dx, y, dy []float32, rows, cols int) {
+	SoftmaxBackwardScaled(dx, y, dy, rows, cols, 1)
+}
+
+// SoftmaxBackwardScaled is SoftmaxBackward with a trailing gradient
+// scale folded into the write pass: dx[i] = (y[i]·(dy[i]-s))·scale.
+// The product associates exactly as the old "backward then scale dx in
+// place" sequence, so results are bitwise identical to it, and scale=1
+// is the plain backward.
+func SoftmaxBackwardScaled(dx, y, dy []float32, rows, cols int, scale float32) {
+	checkSoftmaxShape(rows, cols, "SoftmaxBackward", dx, y, dy)
 	parallel.RangeGrain(rows, 1+parallel.MinGrain/(cols+1), func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			yr := y[r*cols : r*cols+cols]
@@ -164,10 +183,25 @@ func SoftmaxBackward(dx, y, dy []float32, rows, cols int) {
 			}
 			sf := float32(s)
 			for j := range yr {
-				dxr[j] = yr[j] * (dyr[j] - sf)
+				dxr[j] = yr[j] * (dyr[j] - sf) * scale
 			}
 		}
 	})
+}
+
+// checkSoftmaxShape validates a row-softmax shape and its operand
+// lengths with named panics, so an undersized buffer or a zero-column
+// call fails at the API boundary instead of as a slice-bounds fault
+// inside a parallel worker.
+func checkSoftmaxShape(rows, cols int, name string, bufs ...[]float32) {
+	if rows < 0 || (rows > 0 && cols <= 0) {
+		panic(fmt.Sprintf("tensor: %s invalid shape %d×%d", name, rows, cols))
+	}
+	for _, b := range bufs {
+		if len(b) < rows*cols {
+			panic("tensor: " + name + " buffer too small")
+		}
+	}
 }
 
 // Transpose writes aᵀ into dst for a (rows × cols) matrix a; dst must

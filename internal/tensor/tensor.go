@@ -14,6 +14,29 @@
 //   - float32 is used throughout: the paper's workloads train in mixed
 //     precision, and float32 halves memory traffic versus float64,
 //     which dominates pure-Go GEMM performance.
+//
+// # Fused tiled attention
+//
+// FlashAttnFwd/FlashAttnBwd (attention.go) implement attention without
+// materializing the (T×T) score matrix: K/V are streamed in tiles
+// against blocks of Q, the softmax is maintained online (running row
+// max and exp-sum, with an exp(mPrev−mNext) correction applied to the
+// output accumulator when the max advances), the 1/√d scale is folded
+// into the tile pass, and only the per-row (max, exp-sum) statistics
+// survive the forward — O(T) state from which the backward recomputes
+// any probability tile exactly. Score and probability tiles ride the
+// same packed mr×nr micro-kernels as the blocked GEMM; exponentials
+// use an 8-lane AVX2 polynomial (fastexp_amd64.s) with a scalar
+// fallback sharing the same Cephes reduction (fastexp.go).
+//
+// # bf16 compute GEMM
+//
+// MatMulBF16 (bf16gemm.go) accepts the B operand as packed bfloat16
+// and widens it inside the GEMM's panel-packing stage, so bf16-stored
+// weights are multiplied without ever materializing an fp32 copy of
+// the matrix. Widening is exact and the compute stage is shared with
+// MatMul, making MatMulBF16 bit-for-bit equal to MatMul over
+// pre-widened weights on every build.
 package tensor
 
 import (

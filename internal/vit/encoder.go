@@ -36,6 +36,24 @@ func (e *Encoder) Params() []*nn.Param {
 	return append(ps, e.Norm.Params()...)
 }
 
+// PackBF16 packs every block's projection weights into bf16 shadows
+// so the inference path (Infer via nn.Linear.Infer) streams 2-byte
+// weights through the bf16-input GEMM.
+func (e *Encoder) PackBF16() {
+	for _, b := range e.Blocks {
+		b.PackBF16()
+	}
+}
+
+// Release drops every block's and the final norm's scratch buffers;
+// weights are untouched.
+func (e *Encoder) Release() {
+	for _, b := range e.Blocks {
+		b.Release()
+	}
+	e.Norm.Release()
+}
+
 // Forward runs the stack over batch sequences of tokens tokens each.
 func (e *Encoder) Forward(x []float32, batch, tokens int) []float32 {
 	h := x
