@@ -1,5 +1,6 @@
 # Developer entry points for the repro tree. CI runs vet+build+test, a
-# -race job over the distributed layer, and the docs gate (see
+# -race job over the distributed layer, the statgate static-analysis
+# gate (`make analyze`), and the docs gate (see
 # .github/workflows/ci.yml); `make bench` records the GEMM and
 # attention kernel throughput into BENCH_gemm.json, `make bench-dist`
 # the multi-rank training throughput into BENCH_dist.json, and `make
@@ -8,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-all race docs bench bench-dist bench-serve calibrate
+.PHONY: build vet test test-all race analyze docs bench bench-dist bench-serve calibrate
 
 build:
 	$(GO) build ./...
@@ -26,9 +27,18 @@ race:
 	$(GO) test -race ./internal/dist/ ./internal/train/ ./internal/opt/ ./internal/mae/ ./internal/dataload/ ./internal/serve/ ./geofm/ ./cmd/pretrain/ ./cmd/serve/
 	$(GO) test -race -run 'BF16|Flash|ExpScaledSub|SoftmaxScaled' ./internal/tensor/
 	$(GO) test -race -run 'Fused|AttentionGradients|BlockGradients|InferMatches' ./internal/nn/
+	$(GO) test -race -short ./internal/calib/ ./internal/sim/ ./internal/trace/ ./internal/perfmodel/
 
-# Docs gate: formatting, vet, and a package comment on every package.
-docs:
+# Static-analysis gate: the repo-invariant analyzer suite (statgate)
+# over the whole tree, plus the analyzers' own fixture tests. Findings
+# are suppressible only via //statgate:allow pragmas.
+analyze:
+	$(GO) test ./internal/analysis/ ./cmd/statgate/ ./tools/docgate/ ./tools/benchjson/
+	$(GO) run ./cmd/statgate
+
+# Docs gate: formatting, vet, static analysis, and a package comment on
+# every package.
+docs: analyze
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then echo "gofmt -l:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./tools/docgate

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// runCapture invokes run() with stdout/stderr redirected to temp files
+// and returns both streams plus the exit code.
+func runCapture(t *testing.T, args []string) (stdout, stderr string, code int) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	ob, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(ob), string(eb), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := runCapture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(analysis.All()) {
+		t.Fatalf("listed %d analyzers, suite has %d:\n%s", len(lines), len(analysis.All()), out)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	_, stderr, code := runCapture(t, []string{"-run", "nosuch"})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+// TestFindings pins the failure shape on a throwaway module with one
+// deliberate floateq violation: root-relative position, analyzer tag,
+// count on stderr, exit 1.
+func TestFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `// Package bad has one finding.
+package bad
+
+// Eq compares floats exactly.
+func Eq(a, b float64) bool { return a == b }
+`)
+	out, stderr, code := runCapture(t, []string{"-root", dir})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout %q, stderr %q)", code, out, stderr)
+	}
+	if !strings.Contains(out, "bad.go:5") || !strings.Contains(out, "[floateq]") {
+		t.Errorf("stdout = %q, want a root-relative floateq finding at bad.go:5", out)
+	}
+	if !strings.Contains(stderr, "statgate: 1 finding(s)") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+// TestTreeClean runs the real gate over the enclosing module: the tree
+// this test ships in must exit 0.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree typecheck in short mode")
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stderr, code := runCapture(t, []string{"-root", root})
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "statgate: tree clean") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"bufio"
+	"go/ast"
+	"go/build/constraint"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AsmPair enforces the kernel dispatch pattern PRs 1/4/9 established:
+// every assembly kernel file <base>_amd64.s and its declaring
+// <base>_amd64.go must have a <base>_generic.go purego twin, the amd64
+// side gated `amd64 && !purego` (the .s file too — the assembler would
+// otherwise still pick it up under -tags purego), the generic side
+// satisfiable under both !amd64 and amd64+purego, and the two .go
+// files must define the same set of bodied functions, so every entry
+// point the fast path exports exists — same name — on the portable
+// path and a purego build can never lose a symbol.
+var AsmPair = &Analyzer{
+	Name: "asmpair",
+	Doc:  "every *_amd64.s/*_amd64.go kernel file has a *_generic.go purego twin with the same bodied function set and correct build tags",
+	RunDir: func(pass *DirPass) {
+		// Collect kernel bases from both the .s files and the _amd64.go
+		// declarations.
+		bases := map[string]bool{}
+		for _, s := range pass.AsmFiles {
+			if b, ok := strings.CutSuffix(s, "_amd64.s"); ok {
+				bases[b] = true
+			}
+		}
+		for name := range pass.Files {
+			if b, ok := strings.CutSuffix(name, "_amd64.go"); ok {
+				bases[b] = true
+			}
+		}
+		var sorted []string
+		for b := range bases {
+			sorted = append(sorted, b)
+		}
+		sort.Strings(sorted)
+		for _, base := range sorted {
+			checkPair(pass, base)
+		}
+	},
+}
+
+func checkPair(pass *DirPass, base string) {
+	amdGo := base + "_amd64.go"
+	genGo := base + "_generic.go"
+	amdFile, haveAmdGo := pass.Files[amdGo]
+	genFile, haveGen := pass.Files[genGo]
+
+	if !haveAmdGo {
+		pass.ReportFile(genGo, "kernel "+base+" has assembly ("+base+"_amd64.s) but no "+amdGo+" declaring it")
+		return
+	}
+	if !haveGen {
+		pass.ReportFile(amdGo, "kernel file "+amdGo+" has no purego twin "+genGo)
+		return
+	}
+
+	// Build-tag gating. The amd64 side must vanish under purego and be
+	// present on a plain amd64 build; the generic side must cover both
+	// worlds the amd64 side leaves.
+	if expr, ok := buildConstraint(amdFile); !ok {
+		pass.ReportFile(amdGo, amdGo+" has no //go:build constraint (want amd64 && !purego)")
+	} else {
+		if evalTags(expr, true, true) {
+			pass.ReportFile(amdGo, amdGo+" is still built under -tags purego (want a !purego constraint)")
+		}
+		if !evalTags(expr, true, false) {
+			pass.ReportFile(amdGo, amdGo+" is not built on a plain amd64 build: constraint is unsatisfiable")
+		}
+	}
+	if expr, ok := buildConstraint(genFile); !ok {
+		pass.ReportFile(genGo, genGo+" has no //go:build constraint (want !amd64 || purego)")
+	} else {
+		if !evalTags(expr, false, false) {
+			pass.ReportFile(genGo, genGo+" is not built on non-amd64 platforms (want !amd64 || purego)")
+		}
+		if !evalTags(expr, true, true) {
+			pass.ReportFile(genGo, genGo+" is not built under -tags purego on amd64 (want !amd64 || purego)")
+		}
+	}
+
+	// The .s file must carry the same purego gate, or the assembler
+	// keeps assembling it when the Go declarations are gone.
+	for _, s := range pass.AsmFiles {
+		if s != base+"_amd64.s" {
+			continue
+		}
+		expr, ok := asmConstraint(filepath.Join(pass.Dir, s))
+		if !ok {
+			pass.ReportFile(amdGo, s+" has no //go:build constraint (want amd64 && !purego)")
+		} else if evalTags(expr, true, true) {
+			pass.ReportFile(amdGo, s+" is still assembled under -tags purego (want a !purego constraint)")
+		}
+	}
+
+	// Function-set parity: every bodied function on the fast side must
+	// exist on the portable side and vice versa. Assembly stubs
+	// (bodiless declarations) are the fast path's private surface and
+	// are exempt.
+	amdFns := bodiedFuncs(amdFile)
+	genFns := bodiedFuncs(genFile)
+	for _, fn := range sortedKeys(amdFns) {
+		if _, ok := genFns[fn]; !ok {
+			pass.Reportf(amdFns[fn], "function %s in %s has no counterpart in %s: a purego build loses it", fn, amdGo, genGo)
+		}
+	}
+	for _, fn := range sortedKeys(genFns) {
+		if _, ok := amdFns[fn]; !ok {
+			pass.Reportf(genFns[fn], "function %s in %s has no counterpart in %s: the builds diverge", fn, genGo, amdGo)
+		}
+	}
+}
+
+// bodiedFuncs maps the names of top-level functions with bodies to
+// their positions. Methods are keyed as Recv.Name.
+func bodiedFuncs(f *ast.File) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+		}
+		out[name] = fd.Name.Pos()
+	}
+	return out
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	}
+	return "?"
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// buildConstraint extracts the //go:build expression from a parsed Go
+// file's leading comments.
+func buildConstraint(f *ast.File) (constraint.Expr, bool) {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return nil, false
+				}
+				return expr, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// asmConstraint scans an assembly file's leading comment lines for a
+// //go:build expression.
+func asmConstraint(path string) (constraint.Expr, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return nil, false
+				}
+				return expr, true
+			}
+			continue
+		}
+		break // past the header
+	}
+	return nil, false
+}
+
+// evalTags evaluates a build expression in a world where amd64 and
+// purego have the given truth values and every other tag is false
+// (except the gc toolchain tag, always true for this repo).
+func evalTags(expr constraint.Expr, amd64, purego bool) bool {
+	return expr.Eval(func(tag string) bool {
+		switch tag {
+		case "amd64":
+			return amd64
+		case "purego":
+			return purego
+		case "gc":
+			return true
+		}
+		return false
+	})
+}

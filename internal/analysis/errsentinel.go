@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrSentinel enforces the repo's error conventions: package-level
+// error values created with errors.New / fmt.Errorf are sentinels and
+// must be named Err* (err* when unexported) so call sites read as
+// errors.Is(err, dist.ErrAborted); and fmt.Errorf calls that carry an
+// error argument must wrap it with %w — the PR 6 fault machinery
+// (ErrInjectedFault ⊂ ErrAborted) and every errors.Is test in the
+// tree depend on the unwrap chain staying intact.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "package-level sentinels are named Err*; fmt.Errorf with an error argument uses %w",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				checkSentinelNames(pass, gd)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkErrorfWrap(pass, call)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkSentinelNames flags package-level error constructions bound to
+// names that do not start with Err/err.
+func checkSentinelNames(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i >= len(vs.Values) {
+				break
+			}
+			call, ok := vs.Values[i].(*ast.CallExpr)
+			if !ok || !isErrCtor(pass, call) {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+				continue // local declaration, not a sentinel
+			}
+			if !strings.HasPrefix(name.Name, "Err") && !strings.HasPrefix(name.Name, "err") {
+				pass.Reportf(name.Pos(), "package-level error sentinel %s is not named Err*/err*", name.Name)
+			}
+		}
+	}
+}
+
+// isErrCtor reports calls to errors.New or fmt.Errorf.
+func isErrCtor(pass *Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass, call, "errors", "New") || isPkgFunc(pass, call, "fmt", "Errorf")
+}
+
+// isPkgFunc reports whether call invokes stdlib pkg.name.
+func isPkgFunc(pass *Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+// checkErrorfWrap flags fmt.Errorf calls with more error-typed
+// arguments than %w verbs in a literal format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wraps := countWrapVerbs(format)
+	errArgs := 0
+	for _, a := range call.Args[1:] {
+		if isErrorType(pass.Info.TypeOf(a)) {
+			errArgs++
+		}
+	}
+	if errArgs > wraps {
+		pass.Reportf(call.Pos(), "fmt.Errorf has %d error argument(s) but %d %%w verb(s): wrap with %%w so errors.Is/As keep working", errArgs, wraps)
+	}
+}
+
+// countWrapVerbs counts %w verbs, skipping %% escapes.
+func countWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Scan past flags/width to the verb rune.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) && format[j] == 'w' {
+			n++
+		}
+		i = j
+	}
+	return n
+}
+
+// isErrorType reports whether t is the error interface or implements
+// it (the shapes %w accepts).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// This file is the analysistest-style fixture harness: a fixture is a
+// directory of Go files under testdata/src/<name> annotated with
+//
+//	// want "regex"
+//
+// comments on the lines where findings are expected (several quoted
+// regexes on one comment expect several findings on that line; backquoted
+// regexes work too). CheckFixture runs the given analyzers over the
+// directory through the same driver `make analyze` uses — pragma
+// filtering included, so fixtures can assert suppression as well —
+// and returns one error per mismatch in either direction. The
+// docgate and statgate CLI tests reuse the same layout via Golden.
+
+// wantRe matches the quoted expectation strings of a want comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// A want is one expected-finding annotation.
+type want struct {
+	file string // base filename
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// CheckFixture analyzes the fixture directory and compares findings
+// against its want comments, returning a description of every
+// mismatch. root must be the module root the fixture's imports
+// resolve against.
+func CheckFixture(root string, analyzers []*Analyzer, dir string) []string {
+	findings, err := Run(Config{Root: root, Analyzers: analyzers, Dirs: []string{dir}})
+	if err != nil {
+		return []string{err.Error()}
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			problems = append(problems, fmt.Sprintf("%s:%d: no finding matched want %q", w.file, w.line, w.re))
+		}
+	}
+	return problems
+}
+
+// collectWants parses every non-test Go file in dir for want comments.
+func collectWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	fset := token.NewFileSet()
+	var wants []*want
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want may trail other comment text on the same line
+				// ("//statgate:allow ... // want `...`"), which Go folds
+				// into a single comment token.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				body := c.Text[idx+len("// want "):]
+				line := fset.Position(c.Pos()).Line
+				for _, m := range wantRe.FindAllStringSubmatch(body, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						return nil, fmt.Errorf("analysis: %s:%d: bad want regexp: %w", name, line, err)
+					}
+					wants = append(wants, &want{file: name, line: line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. The repo's
+// reproducibility guarantees (PR 6 elastic resume, PR 9 bf16 GEMM) are
+// stated bitwise and checked through math.Float32bits — direct float
+// equality is almost always either a rounding hazard or an accidental
+// NaN trap. Sanctioned sites (exact-propagation checks against a
+// constant the code itself stored) carry a //statgate:allow pragma
+// naming why exact comparison is sound there.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "== / != on floating-point operands outside sanctioned bitwise-comparison sites",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.Info.TypeOf(be.X)) || isFloat(pass.Info.TypeOf(be.Y)) {
+					pass.Reportf(be.OpPos, "floating-point %s comparison (use an epsilon, or math.Float32bits for a bitwise check)", be.Op)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isFloat reports whether t's underlying type is a float or complex.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PanicPrefix requires panic string literals in internal/* packages to
+// start with "<pkg>: ", so a production crash names the layer that
+// raised it without a symbolized stack. Literals reached through
+// fmt.Sprintf are checked via their format string; panics of error
+// values or variables are out of scope (sentinels carry their own
+// prefix, enforced by errsentinel).
+var PanicPrefix = &Analyzer{
+	Name: "panicprefix",
+	Doc:  `panic string literals in internal/* start with "<pkg>: "`,
+	Run: func(pass *Pass) {
+		if !strings.Contains(pass.Path, "/internal/") {
+			return
+		}
+		want := pass.Pkg.Name() + ": "
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || pass.Info.Uses[id] != types.Universe.Lookup("panic") {
+					return true
+				}
+				if lit, ok := panicLiteral(call.Args[0]); ok {
+					if !strings.HasPrefix(lit.val, want) {
+						pass.Reportf(lit.pos.Pos(), "panic message %q does not start with %q", clip(lit.val), want)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+type panicLit struct {
+	pos ast.Node
+	val string
+}
+
+// panicLiteral extracts the string literal a panic argument boils down
+// to: a direct literal, or the format string of an fmt.Sprintf call.
+func panicLiteral(arg ast.Expr) (panicLit, bool) {
+	switch arg := arg.(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(arg.Value); err == nil {
+			return panicLit{pos: arg, val: s}, true
+		}
+	case *ast.CallExpr:
+		if sel, ok := arg.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" && len(arg.Args) > 0 {
+				if lit, ok := arg.Args[0].(*ast.BasicLit); ok {
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						return panicLit{pos: lit, val: s}, true
+					}
+				}
+			}
+		}
+	}
+	return panicLit{}, false
+}
+
+// clip shortens long messages for the diagnostic.
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

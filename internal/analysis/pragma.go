@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// pragmaPrefix introduces a suppression comment. The full form is
+//
+//	//statgate:allow <analyzer> — <reason>
+//
+// placed on the finding's line or the line directly above it. The
+// analyzer name must be one of the registered analyzers and the reason
+// must be non-empty; anything else is reported as a finding of the
+// synthetic "pragma" analyzer so a typo cannot silently widen the
+// suppression.
+const pragmaPrefix = "statgate:allow"
+
+// A pragma is one parsed suppression comment.
+type pragma struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	bad      string // non-empty when malformed: the complaint
+}
+
+// parsePragmas extracts every statgate:allow comment from f.
+func parsePragmas(f *ast.File) []pragma {
+	var out []pragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			body, ok := strings.CutPrefix(text, pragmaPrefix)
+			if !ok {
+				continue
+			}
+			p := pragma{pos: c.Pos()}
+			// Accept an em dash or a double hyphen between analyzer
+			// and reason.
+			body = strings.TrimSpace(body)
+			var name, reason string
+			for _, sep := range []string{"—", "--"} {
+				if a, r, found := strings.Cut(body, sep); found {
+					name, reason = strings.TrimSpace(a), strings.TrimSpace(r)
+					break
+				}
+			}
+			switch {
+			case name == "" && reason == "":
+				p.bad = "malformed pragma: want //statgate:allow <analyzer> — <reason>"
+			case name == "":
+				p.bad = "pragma names no analyzer"
+			case reason == "":
+				p.bad = "pragma gives no reason"
+			default:
+				p.analyzer = name
+				p.reason = reason
+				if !knownAnalyzer(name) {
+					p.bad = "pragma names unknown analyzer " + name
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions indexes valid pragmas by (file, line, analyzer): a
+// finding is suppressed when a pragma for its analyzer sits on its
+// line or the line above.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(fset *token.FileSet, p pragma) {
+	pos := fset.Position(p.pos)
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		s[pos.Filename] = byLine
+	}
+	byAn := byLine[pos.Line]
+	if byAn == nil {
+		byAn = map[string]bool{}
+		byLine[pos.Line] = byAn
+	}
+	byAn[p.analyzer] = true
+}
+
+func (s suppressions) covers(f Finding) bool {
+	byLine := s[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if byLine[line][f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

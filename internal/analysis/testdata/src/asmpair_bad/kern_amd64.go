@@ -1,0 +1,17 @@
+//go:build amd64
+
+// Package kern is a statgate fixture: wrong build tags on every file
+// plus bodied-function drift in both directions.
+package kern // want `kern_amd64.go is still built under -tags purego` `kern_amd64.s has no //go:build constraint`
+
+func dotAVX2(a, b []float32) float32
+
+// Dot dispatches to the assembly kernel.
+func Dot(a, b []float32) float32 {
+	return dotAVX2(a, b)
+}
+
+// Extra exists only on the fast path.
+func Extra(a []float32) float32 { // want `function Extra in kern_amd64.go has no counterpart`
+	return dotAVX2(a, a)
+}

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+// Package kern is a statgate fixture: wrong build tags on every file
+// plus bodied-function drift in both directions.
+package kern // want `kern_generic.go is not built under -tags purego on amd64`
+
+// Dot is the portable twin.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// OnlyGeneric exists only on the portable path.
+func OnlyGeneric(a []float32) float32 { // want `function OnlyGeneric in kern_generic.go has no counterpart`
+	return Dot(a, a)
+}

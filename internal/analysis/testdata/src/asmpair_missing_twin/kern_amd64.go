@@ -1,0 +1,12 @@
+//go:build amd64 && !purego
+
+// Package kern is a statgate fixture: an amd64 kernel file with no
+// generic twin at all.
+package kern // want `has no purego twin kern_generic.go`
+
+func sumAVX2(xs []float32) float32
+
+// Sum dispatches to the assembly kernel.
+func Sum(xs []float32) float32 {
+	return sumAVX2(xs)
+}

@@ -1,0 +1,6 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+TEXT ·sumAVX2(SB), NOSPLIT, $0-28
+	RET

@@ -1,0 +1,13 @@
+//go:build amd64 && !purego
+
+// Package kern is a statgate fixture: a correctly paired kernel file
+// set that must produce no asmpair findings.
+package kern
+
+// scaleAVX2 is the assembly stub: bodiless, exempt from parity.
+func scaleAVX2(dst []float32, k float32)
+
+// Scale is the dispatch entry point.
+func Scale(dst []float32, k float32) {
+	scaleAVX2(dst, k)
+}

@@ -1,0 +1,7 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// scaleAVX2 is a fixture stub; testdata is never assembled.
+TEXT ·scaleAVX2(SB), NOSPLIT, $0-28
+	RET

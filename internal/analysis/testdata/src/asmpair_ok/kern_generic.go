@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+// Package kern is a statgate fixture: a correctly paired kernel file
+// set that must produce no asmpair findings.
+package kern
+
+// Scale is the portable twin of the amd64 dispatch entry point.
+func Scale(dst []float32, k float32) {
+	for i := range dst {
+		dst[i] *= k
+	}
+}

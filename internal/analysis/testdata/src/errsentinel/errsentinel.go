@@ -1,0 +1,56 @@
+// Package errsentinel is a statgate fixture: sentinel naming and %w
+// wrapping positives and negatives.
+package errsentinel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGood is a well-named exported sentinel.
+var ErrGood = errors.New("errsentinel: good")
+
+// errUnexported is a well-named unexported sentinel.
+var errUnexported = errors.New("errsentinel: unexported")
+
+// Oops is misnamed.
+var Oops = errors.New("errsentinel: misnamed") // want `not named Err\*/err\*`
+
+// BadWrap is a sentinel built with Errorf; still a sentinel, still
+// misnamed.
+var BadWrap = fmt.Errorf("errsentinel: also misnamed") // want `not named Err\*/err\*`
+
+// NotAnError is fine: not an error construction at all.
+var NotAnError = fmt.Sprintf("errsentinel: %d", 1)
+
+func wrapGood(err error) error {
+	return fmt.Errorf("errsentinel: context: %w", err)
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("errsentinel: context: %v", err) // want `wrap with %w`
+}
+
+func wrapTwoOneMissing(a, b error) error {
+	return fmt.Errorf("errsentinel: %w then %v", a, b) // want `2 error argument\(s\) but 1 %w verb`
+}
+
+func wrapEscapedPercent(err error) error {
+	return fmt.Errorf("errsentinel: 100%% broken: %w", err)
+}
+
+func notAnErrArg(s string) error {
+	return fmt.Errorf("errsentinel: plain %s", s)
+}
+
+func localNotSentinel() error {
+	wrapped := errors.New("errsentinel: locals are not sentinels")
+	return wrapped
+}
+
+func allowed(err error) error {
+	//statgate:allow errsentinel — fixture: message-only context, wrapping would leak the cause upward
+	return fmt.Errorf("errsentinel: opaque: %v", err)
+}
+
+var _ = errUnexported

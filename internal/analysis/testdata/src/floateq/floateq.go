@@ -1,0 +1,38 @@
+// Package floateq is a statgate fixture: float equality positives,
+// negatives, and a pragma-suppressed site.
+package floateq
+
+func bad32(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func bad64(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badMixedConst(a float32) bool {
+	return a == 1.5 // want `floating-point == comparison`
+}
+
+type celsius float64
+
+func badNamed(a, b celsius) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func okInt(a, b int) bool {
+	return a == b
+}
+
+func okString(a, b string) bool {
+	return a != b
+}
+
+func okOrdered(a, b float32) bool {
+	return a < b
+}
+
+func allowed(a, b float32) bool {
+	//statgate:allow floateq — fixture: sanctioned exact-propagation check
+	return a == b
+}

@@ -1,0 +1,91 @@
+// Package mustwait is a statgate fixture: dist async handles that are
+// dropped, leaked, chained, waited, and escaped.
+package mustwait
+
+import "repro/internal/dist"
+
+func dropped(g *dist.Group, r *dist.Rank, buf []float32) {
+	g.AllReduceAsync(r, buf) // want `dropped`
+}
+
+func blanked(g *dist.Group, r *dist.Rank, buf []float32) {
+	_ = g.AllReduceAsync(r, buf) // want `assigned to _`
+}
+
+func leaked(g *dist.Group, r *dist.Rank, buf []float32) {
+	h := g.AllReduceAsync(r, buf) // want `function ends without Wait`
+	_ = h
+}
+
+func earlyReturn(g *dist.Group, r *dist.Rank, buf []float32, cond bool) {
+	h := g.AllReduceAsync(r, buf) // want `this path returns without Wait`
+	if cond {
+		return
+	}
+	h.Wait()
+}
+
+func overwritten(g *dist.Group, r *dist.Rank, buf []float32) {
+	h := g.AllReduceAsync(r, buf) // want `overwrites`
+	h = g.AllReduceAsync(r, buf)
+	h.Wait()
+}
+
+func waited(g *dist.Group, r *dist.Rank, buf []float32) {
+	h := g.AllReduceAsync(r, buf)
+	h.Wait()
+}
+
+func chained(g *dist.Group, r *dist.Rank, buf, buf2 []float32) []float32 {
+	h := g.ReduceScatterAsync(r, buf)
+	h2 := g.AllReduceAsyncAfter(r, buf2, h)
+	return h2.Wait()
+}
+
+func branchesBothWait(g *dist.Group, r *dist.Rank, buf []float32, bf16 bool, wire []uint16) {
+	var h *dist.Handle
+	if bf16 {
+		h = g.AllReduceBF16Async(r, buf, wire)
+	} else {
+		h = g.AllReduceAsync(r, buf)
+	}
+	h.Wait()
+}
+
+func escapesReturn(g *dist.Group, r *dist.Rank, buf []float32) *dist.Handle {
+	return g.AllReduceAsync(r, buf)
+}
+
+func escapesVarReturn(g *dist.Group, r *dist.Rank, buf []float32) *dist.Handle {
+	h := g.AllReduceAsync(r, buf)
+	return h
+}
+
+type carrier struct {
+	h *dist.Handle
+}
+
+func escapesField(g *dist.Group, r *dist.Rank, buf []float32, c *carrier) {
+	h := g.AllReduceAsync(r, buf)
+	c.h = h
+}
+
+func escapesClosure(g *dist.Group, r *dist.Rank, buf []float32, run func(func())) {
+	h := g.AllReduceAsync(r, buf)
+	run(func() { h.Wait() })
+}
+
+func loopLeak(g *dist.Group, r *dist.Rank, buf []float32, n int) {
+	for i := 0; i < n; i++ {
+		h := g.AllReduceAsync(r, buf) // want `this continue ends the iteration`
+		if i == 0 {
+			continue
+		}
+		h.Wait()
+	}
+}
+
+func allowed(g *dist.Group, r *dist.Rank, buf []float32) {
+	//statgate:allow mustwait — fixture: rank-exit backstop fails this handle deliberately
+	g.AllReduceAsync(r, buf)
+}

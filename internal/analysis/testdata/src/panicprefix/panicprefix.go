@@ -1,0 +1,37 @@
+// Package panicprefix is a statgate fixture: panic literals with and
+// without the required package prefix.
+package panicprefix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bad() {
+	panic("missing prefix") // want `does not start with "panicprefix: "`
+}
+
+func badSprintf(n int) {
+	panic(fmt.Sprintf("got %d values", n)) // want `does not start with "panicprefix: "`
+}
+
+func badOtherPrefix() {
+	panic("otherpkg: wrong layer") // want `does not start with "panicprefix: "`
+}
+
+func good() {
+	panic("panicprefix: exact prefix")
+}
+
+func goodSprintf(n int) {
+	panic(fmt.Sprintf("panicprefix: got %d values", n))
+}
+
+func goodNonLiteral() {
+	panic(errors.New("panicprefix: errors carry their own prefix, checked elsewhere"))
+}
+
+func allowed() {
+	//statgate:allow panicprefix — fixture: message intentionally mimics the stdlib
+	panic("runtime error: lookalike")
+}

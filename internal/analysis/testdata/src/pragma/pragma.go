@@ -1,0 +1,23 @@
+// Package pragma is a statgate fixture: malformed suppression pragmas
+// are findings themselves and do not suppress.
+package pragma
+
+func noReason(a, b float32) bool {
+	//statgate:allow floateq // want `malformed pragma`
+	return a == b // want `floating-point == comparison`
+}
+
+func unknownAnalyzer(a, b float32) bool {
+	//statgate:allow nosuchanalyzer — the name is wrong // want `unknown analyzer`
+	return a == b // want `floating-point == comparison`
+}
+
+func noAnalyzer(a, b float32) bool {
+	//statgate:allow — reason with no analyzer // want `names no analyzer`
+	return a == b // want `floating-point == comparison`
+}
+
+func wellFormed(a, b float32) bool {
+	//statgate:allow floateq — fixture: exact check is intended here
+	return a == b
+}

@@ -60,6 +60,7 @@ func FitAlphaBeta(bytes, secs []float64) (alpha, beta float64, err error) {
 		sxx += dx * dx
 		sxy += dx * (secs[i] - my)
 	}
+	//statgate:allow floateq — exact degeneracy test: sxx is 0 only when every sweep point coincides
 	if sxx == 0 {
 		return 0, 0, fmt.Errorf("%w: all %d points at %v bytes", ErrSweepDegenerate, len(bytes), bytes[0])
 	}

@@ -43,18 +43,23 @@ func (o *ValidateOptions) setDefaults() {
 	if o.Steps == 0 {
 		o.Steps = 6
 	}
+	//statgate:allow floateq — options zero-default pattern: 0 means unset and is only ever assigned, never computed
 	if o.TargetCommRatio == 0 {
 		o.TargetCommRatio = 1.5
 	}
+	//statgate:allow floateq — options zero-default pattern: 0 means unset and is only ever assigned, never computed
 	if o.TolStep == 0 {
 		o.TolStep = 1.75
 	}
+	//statgate:allow floateq — options zero-default pattern: 0 means unset and is only ever assigned, never computed
 	if o.TolCompute == 0 {
 		o.TolCompute = 2.0
 	}
+	//statgate:allow floateq — options zero-default pattern: 0 means unset and is only ever assigned, never computed
 	if o.TolExposed == 0 {
 		o.TolExposed = 2.0
 	}
+	//statgate:allow floateq — options zero-default pattern: 0 means unset and is only ever assigned, never computed
 	if o.ExposedFloorFrac == 0 {
 		o.ExposedFloorFrac = 0.15
 	}

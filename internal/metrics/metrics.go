@@ -16,6 +16,7 @@ func TopKCorrect(logits []float32, label, k int) bool {
 	target := logits[label]
 	higher := 0
 	for i, v := range logits {
+		//statgate:allow floateq — deterministic tie-break on stored logits; exact equality is the intent
 		if v > target || (v == target && i < label) {
 			higher++
 			if higher >= k {

@@ -180,6 +180,7 @@ func featureStats(x []float32, dim int) (mean, invStd []float64) {
 		if sd < floor {
 			sd = floor
 		}
+		//statgate:allow floateq — divide-by-zero guard; only an exactly-zero sd is dangerous
 		if sd == 0 {
 			sd = 1
 		}

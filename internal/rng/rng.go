@@ -102,6 +102,7 @@ func mul64(a, b uint64) (hi, lo uint64) {
 func (r *RNG) NormFloat64() float64 {
 	// Guard against log(0).
 	u1 := r.Float64()
+	//statgate:allow floateq — log(0) guard; only an exactly-zero draw is dangerous
 	for u1 == 0 {
 		u1 = r.Float64()
 	}

@@ -124,6 +124,7 @@ func (p *policyRun) push(a Arrival) {
 }
 
 func heapLess(a, b arrivalEntry) bool {
+	//statgate:allow floateq — deterministic heap order over stored virtual timestamps; ties must compare exactly
 	if a.at != b.at {
 		return a.at < b.at
 	}

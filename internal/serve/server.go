@@ -201,6 +201,10 @@ func (s *Server) closeLocked(k int, reason string, now float64) {
 func (s *Server) worker(engine int) {
 	defer s.wg.Done()
 	ctx := nn.NewInferCtx()
+	// A worker that served one oversized batch would otherwise pin that
+	// batch's scratch footprint until process exit (the PR 9
+	// scratch-growth lesson).
+	defer ctx.Release()
 	for b := range s.batchCh {
 		startSec := s.now()
 		n := len(b.members)

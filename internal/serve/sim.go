@@ -85,6 +85,7 @@ func Simulate(cfg Config, lat LatencyModel, arrivals []Arrival) (*SimReplay, err
 	}
 	for i, t := range tasks {
 		b := &run.Batches[i]
+		//statgate:allow floateq — the sanctioned bitwise agreement check: policy and sim must agree exactly
 		if t.Start != b.StartSec || t.End != b.DoneSec {
 			return nil, fmt.Errorf(
 				"serve: sim replay diverged on batch %d: policy [%v,%v], sim [%v,%v]",

@@ -156,6 +156,7 @@ func FlashAttnFwd(o []float32, ldo int, q, k, v []float32, t, d int, scale float
 					alpha := expf32(mPrev - mCur)
 					lRow[r] = float64(alpha)*lRow[r] + rowSum
 					mRow[r] = mCur
+					//statgate:allow floateq — exact: alpha is expf32(0) == 1 when the running max did not move
 					if alpha != 1 {
 						arow := acc[r*dPadN : r*dPadN+d]
 						for j := range arow {

@@ -16,6 +16,7 @@ import "math"
 // plus ~10× the latency, and at long sequence lengths the exp pass is
 // the dominant non-GEMM cost of attention.
 func expf32(x float32) float32 {
+	//statgate:allow floateq — the canonical NaN self-comparison
 	if x != x { // NaN propagates
 		return x
 	}

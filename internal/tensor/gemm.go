@@ -93,6 +93,7 @@ func MatMulLd(c, a, b []float32, m, k, n, lda, ldb, ldc int, acc bool) {
 			}
 			ai := a[i*lda : i*lda+k]
 			for kk, av := range ai {
+				//statgate:allow floateq — sparsity skip: only an exactly-zero multiplier is safe to elide
 				if av == 0 {
 					continue
 				}
@@ -156,6 +157,7 @@ func MatMulTALd(c, a, b []float32, m, k, n, lda, ldb, ldc int, acc bool) {
 			ak := a[kk*lda : kk*lda+m]
 			bk := b[kk*ldb : kk*ldb+n]
 			for i := lo; i < hi; i++ {
+				//statgate:allow floateq — sparsity skip: only an exactly-zero multiplier is safe to elide
 				if av := ak[i]; av != 0 {
 					axpy(av, bk, c[i*ldc:i*ldc+n])
 				}

@@ -34,14 +34,18 @@ type report struct {
 }
 
 // run converts bench output on r into indented JSON on w — the whole
-// program, factored for the golden test.
-func run(r io.Reader, w io.Writer) error {
+// program, factored for the golden test. Unusable input (empty, or
+// pure garbage with no benchmark lines) still produces a valid empty
+// document on w; the diagnostics for what was skipped go to diag.
+func run(r io.Reader, w, diag io.Writer) error {
 	rep := report{Meta: map[string]string{}, Results: []result{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	pkg := ""
+	lines, malformed := 0, 0
 	for sc.Scan() {
 		line := sc.Text()
+		lines++
 		// goos/goarch/cpu are machine-wide; pkg changes per package
 		// block when several packages are benched in one run, so it is
 		// recorded per result instead of in the shared metadata.
@@ -58,10 +62,12 @@ func run(r io.Reader, w io.Writer) error {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 3 {
+			malformed++
 			continue
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
+			malformed++
 			continue
 		}
 		res := result{Name: fields[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
@@ -79,13 +85,19 @@ func run(r io.Reader, w io.Writer) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	if malformed > 0 {
+		fmt.Fprintf(diag, "benchjson: skipped %d malformed benchmark line(s)\n", malformed)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(diag, "benchjson: no benchmark results in %d line(s) of input; writing an empty document\n", lines)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

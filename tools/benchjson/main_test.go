@@ -77,12 +77,15 @@ PASS
   ]
 }
 `
-	var out bytes.Buffer
-	if err := run(strings.NewReader(in), &out); err != nil {
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(in), &out, &diag); err != nil {
 		t.Fatal(err)
 	}
 	if got := out.String(); got != want {
 		t.Errorf("JSON drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if !strings.Contains(diag.String(), "skipped 3 malformed benchmark line(s)") {
+		t.Errorf("diag = %q, want the 3 malformed lines counted", diag.String())
 	}
 }
 
@@ -132,21 +135,24 @@ ok  	repro/internal/serve	4.123s
   ]
 }
 `
-	var out bytes.Buffer
-	if err := run(strings.NewReader(in), &out); err != nil {
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(in), &out, &diag); err != nil {
 		t.Fatal(err)
 	}
 	if got := out.String(); got != want {
 		t.Errorf("BENCH_serve JSON drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+	if diag.String() != "" {
+		t.Errorf("clean input produced diagnostics: %q", diag.String())
+	}
 }
 
 // TestEmptyInput: no input still yields a valid, empty document (the
 // Makefile pipes may legitimately see an empty bench run under -run
-// filters).
+// filters) plus a diagnostic saying so.
 func TestEmptyInput(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(strings.NewReader(""), &out); err != nil {
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(""), &out, &diag); err != nil {
 		t.Fatal(err)
 	}
 	const want = `{
@@ -157,17 +163,28 @@ func TestEmptyInput(t *testing.T) {
 	if out.String() != want {
 		t.Errorf("empty conversion: %s", out.String())
 	}
+	if !strings.Contains(diag.String(), "no benchmark results in 0 line(s)") {
+		t.Errorf("diag = %q, want the empty-document notice", diag.String())
+	}
 }
 
 // TestMalformedOnly: a stream of exclusively malformed benchmark lines
-// converts cleanly to zero results instead of erroring half way.
+// converts cleanly to zero results instead of erroring half way, and
+// the diagnostics say both what was skipped and that the document is
+// empty.
 func TestMalformedOnly(t *testing.T) {
 	in := "BenchmarkX abc 1 ns/op\nBenchmark\nnoise\nBenchmarkY 12\n"
-	var out bytes.Buffer
-	if err := run(strings.NewReader(in), &out); err != nil {
+	var out, diag bytes.Buffer
+	if err := run(strings.NewReader(in), &out, &diag); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"results": []`) {
 		t.Errorf("malformed-only input produced results: %s", out.String())
+	}
+	if !strings.Contains(diag.String(), "skipped 3 malformed benchmark line(s)") {
+		t.Errorf("diag = %q, want 3 malformed lines counted", diag.String())
+	}
+	if !strings.Contains(diag.String(), "no benchmark results in 4 line(s)") {
+		t.Errorf("diag = %q, want the empty-document notice", diag.String())
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"go/parser"
 	"go/token"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -26,6 +27,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] != "./..." {
 		root = os.Args[1]
 	}
+	os.Exit(run(root, os.Stdout, os.Stderr))
+}
+
+// run is the whole gate, factored for the golden test: it walks root
+// and writes one line per undocumented package to stdout, returning
+// the process exit code.
+func run(root string, stdout, stderr io.Writer) int {
 	// dir → true once a package comment is seen in any non-test file.
 	documented := map[string]bool{}
 	hasGo := map[string]bool{}
@@ -35,8 +43,12 @@ func main() {
 			return err
 		}
 		if d.IsDir() {
+			// Skip hidden and testdata subtrees — but never the walk
+			// root itself, which may legitimately be (or live under) a
+			// directory with such a name when a test points the gate at
+			// a fixture.
 			name := d.Name()
-			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
 				return filepath.SkipDir
 			}
 			return nil
@@ -60,8 +72,8 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "docgate:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "docgate:", err)
+		return 1
 	}
 
 	var missing []string
@@ -72,10 +84,11 @@ func main() {
 	}
 	sort.Strings(missing)
 	for _, dir := range missing {
-		fmt.Printf("docgate: package in %s has no package comment\n", dir)
+		fmt.Fprintf(stdout, "docgate: package in %s has no package comment\n", dir)
 	}
 	if len(missing) > 0 {
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("docgate: %d packages documented\n", len(hasGo))
+	fmt.Fprintf(stdout, "docgate: %d packages documented\n", len(hasGo))
+	return 0
 }

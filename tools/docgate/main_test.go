@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The fixtures mirror the analyzer testdata layout: one tree that must
+// pass the gate and one with a deliberately undocumented package.
+
+func runOn(t *testing.T, root string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(root, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestDocsOK(t *testing.T) {
+	out, stderr, code := runOn(t, filepath.Join("testdata", "docs_ok"))
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if want := "docgate: 2 packages documented\n"; out != want {
+		t.Errorf("stdout = %q, want %q", out, want)
+	}
+}
+
+func TestDocsMissing(t *testing.T) {
+	root := filepath.Join("testdata", "docs_missing")
+	out, _, code := runOn(t, root)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s", code, out)
+	}
+	want := "docgate: package in " + filepath.Join(root, "undoc") + " has no package comment\n"
+	if out != want {
+		t.Errorf("stdout = %q, want %q", out, want)
+	}
+}
+
+// TestRootNamedTestdata pins the walk-root fix: pointing the gate at a
+// directory literally named testdata must walk it, not skip it.
+func TestRootNamedTestdata(t *testing.T) {
+	out, _, code := runOn(t, "testdata")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (the undocumented fixture package must be found)\nstdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "undoc has no package comment") {
+		t.Errorf("stdout = %q, want the undoc fixture flagged", out)
+	}
+}
+
+// TestRealTree runs the gate over the enclosing repo: the tree this
+// test ships in must stay documented.
+func TestRealTree(t *testing.T) {
+	out, stderr, code := runOn(t, filepath.Join("..", ".."))
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}

@@ -1,0 +1,3 @@
+// Package docsmissing is a docgate fixture: this file is documented,
+// but the undoc subpackage is not.
+package docsmissing

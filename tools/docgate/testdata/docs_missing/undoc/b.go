@@ -1,0 +1,5 @@
+package undoc
+
+// B exists so the file is not empty; the package comment is what is
+// deliberately missing.
+func B() int { return 0 }

@@ -1,0 +1,3 @@
+// Package docsok is a docgate fixture: every package here carries a
+// package comment.
+package docsok

@@ -1,0 +1,2 @@
+// Package sub is a documented subpackage of the docs_ok fixture.
+package sub
